@@ -1,0 +1,74 @@
+// Shared bench harness helpers: kernel workload setup/arguments, cycle
+// measurement through OnlineTarget, and paper-style table printing.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "driver/kernels.h"
+#include "driver/offline_compiler.h"
+#include "driver/online_compiler.h"
+#include "support/rng.h"
+
+namespace svc::bench {
+
+inline constexpr uint32_t kArrA = 1024;     // f32 array / output
+inline constexpr uint32_t kArrB = 1 << 16;  // f32 array
+inline constexpr uint32_t kArrC = 1 << 17;  // f32 array
+inline constexpr uint32_t kBytes = 1 << 18; // u8/u16 data
+
+/// Fills the standard workload arrays for `n` elements (deterministic).
+inline void setup_memory(Memory& mem, int n, uint64_t seed = 42) {
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    const auto u = static_cast<uint32_t>(i);
+    mem.write_f32(kArrA + 4 * u, rng.next_f32());
+    mem.write_f32(kArrB + 4 * u, rng.next_f32());
+    mem.write_f32(kArrC + 4 * u, rng.next_f32());
+    mem.store_u8(kBytes + u, static_cast<uint8_t>(rng.next_u32()));
+    mem.store_u16(kBytes + 2 * u, static_cast<uint16_t>(rng.next_u32()));
+  }
+}
+
+/// Argument vector for a Table 1 kernel over `n` elements.
+inline std::vector<Value> kernel_args(const KernelInfo& k, int n) {
+  switch (k.shape) {
+    case KernelShape::MapF32:
+      if (k.fn_name == std::string_view("saxpy")) {
+        return {Value::make_f32(1.25f), Value::make_i32(kArrB),
+                Value::make_i32(kArrC), Value::make_i32(n)};
+      }
+      return {Value::make_i32(kArrA), Value::make_i32(kArrB),
+              Value::make_i32(kArrC), Value::make_i32(n)};
+    case KernelShape::ScaleF32:
+      return {Value::make_f32(0.99f), Value::make_i32(kArrB),
+              Value::make_i32(n)};
+    case KernelShape::ReduceU8:
+    case KernelShape::ReduceU16:
+      return {Value::make_i32(kBytes), Value::make_i32(n)};
+  }
+  return {};
+}
+
+/// Runs `k` once on `target` over `n` elements; returns simulated cycles.
+inline uint64_t run_kernel_cycles(OnlineTarget& target, const KernelInfo& k,
+                                  int n) {
+  Memory mem(1 << 20);
+  setup_memory(mem, n);
+  const SimResult r = target.run(k.fn_name, kernel_args(k, n), mem);
+  if (!r.ok()) {
+    std::fprintf(stderr, "kernel %s trapped on %s\n",
+                 std::string(k.name).c_str(), target.desc().name.c_str());
+    std::abort();
+  }
+  return r.stats.cycles;
+}
+
+inline void print_rule(int width) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace svc::bench

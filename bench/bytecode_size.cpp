@@ -1,0 +1,56 @@
+// E6 -- the S2.1 compactness claim ([15]: "CLI makes a compact program
+// representation for embedded and general-purpose targets") and the
+// split-compilation overhead question: how many bytes do the annotations
+// add to the deployment image?
+//
+// Compares, over the kernel suite: serialized SVIL size (one image) vs
+// emitted native code size per target (what shipping binaries costs), and
+// the annotation share of the image.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "bytecode/serializer.h"
+
+using namespace svc;
+using namespace svc::bench;
+
+int main() {
+  std::printf("Deployment-image size: portable bytecode vs native code\n\n");
+  std::printf("%-12s %10s %10s %12s", "kernel", "svil B", "ann B", "ann %");
+  for (TargetKind kind : table1_targets()) {
+    std::printf(" %10s", target_desc(kind).name.c_str());
+  }
+  std::printf(" %12s\n", "3-target sum");
+
+  size_t total_svil = 0, total_native = 0;
+  for (const KernelInfo& k : table1_kernels()) {
+    const Module m = compile_or_die(k.source);
+    const std::vector<uint8_t> image = serialize_module(m);
+    size_t ann_bytes = 0;
+    for (const Function& fn : m.functions()) {
+      for (const Annotation& a : fn.annotations()) {
+        ann_bytes += a.payload.size() + 2;
+      }
+    }
+    std::printf("%-12s %10zu %10zu %11.1f%%", std::string(k.name).c_str(),
+                image.size(), ann_bytes,
+                100.0 * static_cast<double>(ann_bytes) /
+                    static_cast<double>(image.size()));
+    size_t native_sum = 0;
+    for (TargetKind kind : table1_targets()) {
+      OnlineTarget target(kind);
+      target.load(m);
+      std::printf(" %10zu", target.code_bytes());
+      native_sum += target.code_bytes();
+    }
+    std::printf(" %12zu\n", native_sum);
+    total_svil += image.size();
+    total_native += native_sum;
+  }
+  std::printf(
+      "\ntotals: one portable image %zu B vs per-target binaries %zu B "
+      "(%.2fx smaller deployment)\n",
+      total_svil, total_native,
+      static_cast<double>(total_native) / static_cast<double>(total_svil));
+  return 0;
+}

@@ -1,0 +1,50 @@
+// E5 -- the S4 iterative-compilation direction: "virtual machine monitors
+// may be the ideal engines to drive adaptive tuning". The driver searches
+// the offline knob space (vectorize x if-convert x simplify) *per target*,
+// evaluating each candidate on the deployed core's simulator. The point
+// the bench demonstrates: the winning configuration differs across
+// heterogeneous cores, so the decision belongs after deployment -- which
+// only a virtualized distribution format allows.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "runtime/iterative.h"
+
+using namespace svc;
+using namespace svc::bench;
+
+namespace {
+
+void tune_kernel(const KernelInfo& k, int n) {
+  std::printf("%s (N=%d):\n", std::string(k.name).c_str(), n);
+  std::printf("  %-10s %-16s %12s %12s %9s\n", "target", "best config",
+              "best cyc", "worst cyc", "range");
+  for (TargetKind kind : all_targets()) {
+    const TuneResult result =
+        tune(k.source, kind, [&](OnlineTarget& target) {
+          return run_kernel_cycles(target, k, n);
+        });
+    uint64_t worst = 0;
+    for (const TuneCandidate& c : result.all) {
+      worst = std::max(worst, c.cycles);
+    }
+    std::printf("  %-10s %-16s %11.1fk %11.1fk %8.2fx\n",
+                target_desc(kind).name.c_str(),
+                result.best.config.str().c_str(),
+                result.best.cycles / 1000.0, worst / 1000.0,
+                static_cast<double>(worst) /
+                    static_cast<double>(result.best.cycles));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Iterative compilation: per-target knob search "
+              "(8 configurations each)\n\n");
+  tune_kernel(table1_kernels()[2], 4096);   // dscal
+  tune_kernel(table1_kernels()[3], 4096);   // max u8 (builtin form)
+  tune_kernel(branchy_max_kernel(), 4096);  // branchy form: if-convert matters
+  return 0;
+}

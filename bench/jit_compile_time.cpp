@@ -1,0 +1,58 @@
+// E7 -- ablation on the JIT time budget (S5: "just-in-time compilers are
+// constrained by their allocated memory and CPU time budget"). Wall-clock
+// measurement (google-benchmark) of:
+//   - the offline step (parse -> IR -> passes -> vectorize -> lower);
+//   - the online step per target;
+//   - the online register-allocation policies, showing the split
+//     allocator's annotation-driven mode costs naive-online time while
+//     Chaitin-quality allocation costs an order of magnitude more.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+using namespace svc;
+using namespace svc::bench;
+
+namespace {
+
+void BM_OfflineCompile(benchmark::State& state) {
+  const KernelInfo& k = table1_kernels()[static_cast<size_t>(state.range(0))];
+  for (auto _ : state) {
+    DiagnosticEngine diags;
+    auto module = compile_source(k.source, {}, diags);
+    benchmark::DoNotOptimize(module);
+  }
+  state.SetLabel(std::string(k.name));
+}
+BENCHMARK(BM_OfflineCompile)->DenseRange(0, 5);
+
+void BM_JitCompile(benchmark::State& state) {
+  const KernelInfo& k = table1_kernels()[static_cast<size_t>(state.range(0))];
+  const auto kind = static_cast<TargetKind>(state.range(1));
+  const Module module = compile_or_die(k.source);
+  for (auto _ : state) {
+    JitCompiler jit(target_desc(kind));
+    JitArtifact artifact = jit.compile(module, 0);
+    benchmark::DoNotOptimize(artifact);
+  }
+  state.SetLabel(std::string(k.name) + " on " + target_desc(kind).name);
+}
+BENCHMARK(BM_JitCompile)
+    ->ArgsProduct({{0, 1, 2, 3, 4, 5}, {0, 1, 2}});
+
+void BM_AllocPolicy(benchmark::State& state) {
+  const auto policy = static_cast<AllocPolicy>(state.range(0));
+  // sum u8 on sparcsim: the de-vectorized, pressure-heavy case.
+  const Module module = compile_or_die(table1_kernels()[4].source);
+  for (auto _ : state) {
+    JitCompiler jit(target_desc(TargetKind::SparcSim), {policy, true});
+    JitArtifact artifact = jit.compile(module, 0);
+    benchmark::DoNotOptimize(artifact);
+  }
+  state.SetLabel(alloc_policy_name(policy));
+}
+BENCHMARK(BM_AllocPolicy)->DenseRange(0, 3);
+
+}  // namespace
+
+BENCHMARK_MAIN();

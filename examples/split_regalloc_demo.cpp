@@ -1,0 +1,61 @@
+// Split register allocation, end to end: the offline compiler analyzes a
+// pressure-heavy function once and attaches a portable eviction order;
+// JITs with different register budgets all benefit from the same
+// annotation. Prints the annotation contents and the per-policy spill
+// counts on two very different cores.
+#include <cstdio>
+
+#include "driver/kernels.h"
+#include "driver/offline_compiler.h"
+#include "jit/jit_compiler.h"
+#include "regalloc/split_alloc.h"
+#include "targets/target_registry.h"
+
+using namespace svc;
+
+int main() {
+  // A kernel whose de-vectorized form carries 16+ simultaneously live
+  // lanes: exactly the case where the online allocator's eviction
+  // decisions matter.
+  const Module module = compile_or_die(table1_kernels()[3].source);  // max u8
+  const Function& fn = module.function(0);
+
+  const Annotation* ann =
+      find_annotation(fn.annotations(), AnnotationKind::SpillPriority);
+  if (ann == nullptr) {
+    std::fprintf(stderr, "no SpillPriority annotation?\n");
+    return 1;
+  }
+  const auto prio = SpillPriorityInfo::decode(ann->payload);
+  std::printf("offline SpillPriority annotation (%zu bytes for %zu locals):\n"
+              "  eviction order:",
+              ann->payload.size(), prio->eviction_order.size());
+  for (uint32_t local : prio->eviction_order) std::printf(" $%u", local);
+  std::printf("\n  (first = best spill candidate; weights are use "
+              "densities x256:");
+  for (uint32_t w : prio->weights) std::printf(" %u", w);
+  std::printf(")\n\n");
+
+  for (TargetKind kind : {TargetKind::SparcSim, TargetKind::PpcSim}) {
+    const MachineDesc& desc = target_desc(kind);
+    std::printf("%s (%u allocatable int regs):\n", desc.name.c_str(),
+                desc.regs[0]);
+    for (AllocPolicy policy :
+         {AllocPolicy::NaiveOnline, AllocPolicy::SplitGuided,
+          AllocPolicy::LinearScan, AllocPolicy::OfflineChaitin}) {
+      JitCompiler jit(desc, {policy, true});
+      const JitArtifact artifact = jit.compile(module, 0);
+      std::printf("  %-16s %3lld spill insts, %6lld alloc work units\n",
+                  alloc_policy_name(policy),
+                  static_cast<long long>(
+                      artifact.stats.get("jit.static_spill_loads") +
+                      artifact.stats.get("jit.static_spill_stores")),
+                  static_cast<long long>(
+                      artifact.stats.get("jit.alloc_work_units")));
+    }
+  }
+  std::printf("\nThe same annotation served both register budgets: the "
+              "ranking is an order,\nnot an assignment, so it is valid for "
+              "any K (the paper's portability claim).\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+#include "bytecode/annotations.h"
+
+#include "support/varint.h"
+
+namespace svc {
+
+Annotation VectorizedLoopInfo::encode() const {
+  Annotation a{AnnotationKind::VectorizedLoop, {}};
+  write_uleb(a.payload, header_block);
+  write_uleb(a.payload, vector_factor);
+  write_uleb(a.payload, has_epilogue ? 1 : 0);
+  return a;
+}
+
+std::optional<VectorizedLoopInfo> VectorizedLoopInfo::decode(
+    std::span<const uint8_t> payload) {
+  ByteReader r(payload);
+  const auto header = r.read_uleb();
+  const auto vf = r.read_uleb();
+  const auto epi = r.read_uleb();
+  if (!header || !vf || !epi) return std::nullopt;
+  VectorizedLoopInfo info;
+  info.header_block = static_cast<uint32_t>(*header);
+  info.vector_factor = static_cast<uint32_t>(*vf);
+  info.has_epilogue = *epi != 0;
+  return info;
+}
+
+Annotation SpillPriorityInfo::encode() const {
+  Annotation a{AnnotationKind::SpillPriority, {}};
+  write_uleb(a.payload, eviction_order.size());
+  // Delta-encoding keeps typical payloads around 1-2 bytes per local.
+  for (uint32_t local : eviction_order) write_uleb(a.payload, local);
+  write_uleb(a.payload, weights.size());
+  for (uint32_t w : weights) write_uleb(a.payload, w);
+  return a;
+}
+
+std::optional<SpillPriorityInfo> SpillPriorityInfo::decode(
+    std::span<const uint8_t> payload) {
+  ByteReader r(payload);
+  SpillPriorityInfo info;
+  const auto n = r.read_uleb();
+  if (!n) return std::nullopt;
+  info.eviction_order.reserve(static_cast<size_t>(*n));
+  for (uint64_t i = 0; i < *n; ++i) {
+    const auto v = r.read_uleb();
+    if (!v) return std::nullopt;
+    info.eviction_order.push_back(static_cast<uint32_t>(*v));
+  }
+  const auto m = r.read_uleb();
+  if (!m) return std::nullopt;
+  info.weights.reserve(static_cast<size_t>(*m));
+  for (uint64_t i = 0; i < *m; ++i) {
+    const auto v = r.read_uleb();
+    if (!v) return std::nullopt;
+    info.weights.push_back(static_cast<uint32_t>(*v));
+  }
+  return info;
+}
+
+Annotation HardwareHintsInfo::encode() const {
+  Annotation a{AnnotationKind::HardwareHints, {}};
+  write_uleb(a.payload, features);
+  write_uleb(a.payload, vector_intensity);
+  return a;
+}
+
+std::optional<HardwareHintsInfo> HardwareHintsInfo::decode(
+    std::span<const uint8_t> payload) {
+  ByteReader r(payload);
+  const auto features = r.read_uleb();
+  const auto intensity = r.read_uleb();
+  if (!features || !intensity) return std::nullopt;
+  HardwareHintsInfo info;
+  info.features = static_cast<uint32_t>(*features);
+  info.vector_intensity = static_cast<uint32_t>(*intensity);
+  return info;
+}
+
+Annotation LoopTripInfo::encode() const {
+  Annotation a{AnnotationKind::LoopTripInfo, {}};
+  write_uleb(a.payload, header_block);
+  write_uleb(a.payload, trip_multiple);
+  write_uleb(a.payload, trip_min);
+  return a;
+}
+
+std::optional<LoopTripInfo> LoopTripInfo::decode(
+    std::span<const uint8_t> payload) {
+  ByteReader r(payload);
+  const auto header = r.read_uleb();
+  const auto mult = r.read_uleb();
+  const auto min = r.read_uleb();
+  if (!header || !mult || !min) return std::nullopt;
+  LoopTripInfo info;
+  info.header_block = static_cast<uint32_t>(*header);
+  info.trip_multiple = static_cast<uint32_t>(*mult);
+  info.trip_min = static_cast<uint32_t>(*min);
+  return info;
+}
+
+const Annotation* find_annotation(const std::vector<Annotation>& annotations,
+                                  AnnotationKind kind) {
+  for (const auto& a : annotations) {
+    if (a.kind == kind) return &a;
+  }
+  return nullptr;
+}
+
+}  // namespace svc

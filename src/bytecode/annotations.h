@@ -1,0 +1,99 @@
+// Split-compilation annotations: the channel through which the offline
+// compiler hands distilled semantic facts to the online (JIT) step.
+//
+// Annotations are *advisory* (paper S3): a consumer that ignores them must
+// still produce correct code, and unknown kinds are skipped by loaders.
+// Each annotation is a (kind, payload) record attached to a function; the
+// payload is a compact varint-encoded blob so the deployment-image
+// overhead stays in the low percent range (measured by bench/bytecode_size).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace svc {
+
+enum class AnnotationKind : uint16_t {
+  // Marks a loop the offline vectorizer transformed: which block is the
+  // vector-loop header, the vectorization factor, and whether a scalar
+  // epilogue follows. Lets the JIT skip its own loop analysis.
+  VectorizedLoop = 1,
+  // Portable register-allocation hints (Diouf et al. [18]): locals sorted
+  // by eviction preference (best spill candidate first) plus a use-density
+  // weight per local. Target-independent: valid for any register count K.
+  SpillPriority = 2,
+  // Hardware affinity of the function, used by the heterogeneous mapper:
+  // which core features it benefits from and an estimated intensity.
+  HardwareHints = 3,
+  // Trip-count facts for a loop header: guaranteed multiple and minimum,
+  // letting the JIT drop epilogues or prologue guards.
+  LoopTripInfo = 4,
+};
+
+struct Annotation {
+  AnnotationKind kind;
+  std::vector<uint8_t> payload;
+
+  friend bool operator==(const Annotation&, const Annotation&) = default;
+};
+
+// --- Typed views over the payloads --------------------------------------
+
+struct VectorizedLoopInfo {
+  uint32_t header_block = 0;
+  uint32_t vector_factor = 0;
+  bool has_epilogue = false;
+
+  [[nodiscard]] Annotation encode() const;
+  static std::optional<VectorizedLoopInfo> decode(
+      std::span<const uint8_t> payload);
+};
+
+struct SpillPriorityInfo {
+  // Locals in eviction order: the first entry is the local the online
+  // allocator should spill first when pressure exceeds K.
+  std::vector<uint32_t> eviction_order;
+  // Parallel use-density weights (uses per live-range length, scaled by
+  // 256); purely informational, kept for diagnostics and benches.
+  std::vector<uint32_t> weights;
+
+  [[nodiscard]] Annotation encode() const;
+  static std::optional<SpillPriorityInfo> decode(
+      std::span<const uint8_t> payload);
+};
+
+// Bitmask of core features a function benefits from.
+enum HardwareFeature : uint32_t {
+  kFeatureSimd = 1u << 0,
+  kFeatureFloat = 1u << 1,
+  kFeatureDouble = 1u << 2,
+  kFeatureControlHeavy = 1u << 3,
+  kFeatureMemoryHeavy = 1u << 4,
+};
+
+struct HardwareHintsInfo {
+  uint32_t features = 0;
+  // Fraction (0-100) of dynamic work estimated to be vectorizable.
+  uint32_t vector_intensity = 0;
+
+  [[nodiscard]] Annotation encode() const;
+  static std::optional<HardwareHintsInfo> decode(
+      std::span<const uint8_t> payload);
+};
+
+struct LoopTripInfo {
+  uint32_t header_block = 0;
+  uint32_t trip_multiple = 1;  // trip count is a multiple of this
+  uint32_t trip_min = 0;       // trip count is at least this
+
+  [[nodiscard]] Annotation encode() const;
+  static std::optional<LoopTripInfo> decode(std::span<const uint8_t> payload);
+};
+
+/// Finds the first annotation of `kind` in `annotations`, or nullptr.
+const Annotation* find_annotation(const std::vector<Annotation>& annotations,
+                                  AnnotationKind kind);
+
+}  // namespace svc

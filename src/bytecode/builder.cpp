@@ -1,0 +1,3 @@
+#include "bytecode/builder.h"
+
+// Header-only fluent builder; TU anchors the component in the library.

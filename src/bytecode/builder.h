@@ -1,0 +1,93 @@
+// Fluent construction of SVIL functions. Used by the offline lowering,
+// the tests and the synthetic workload generators. The builder tracks the
+// current block and provides typed emit helpers so call sites read like
+// assembly listings.
+#pragma once
+
+#include "bytecode/function.h"
+#include "bytecode/module.h"
+
+namespace svc {
+
+class FunctionBuilder {
+ public:
+  FunctionBuilder(std::string name, FunctionSig sig)
+      : fn_(std::move(name), std::move(sig)) {
+    current_ = fn_.add_block();
+  }
+
+  [[nodiscard]] Function take() { return std::move(fn_); }
+  [[nodiscard]] Function& fn() { return fn_; }
+
+  uint32_t add_local(Type t) { return fn_.add_local(t); }
+
+  /// Creates a new (empty) block without switching to it.
+  uint32_t new_block() { return fn_.add_block(); }
+  /// Makes `block` the emission target.
+  void switch_to(uint32_t block) { current_ = block; }
+  [[nodiscard]] uint32_t current_block() const { return current_; }
+
+  FunctionBuilder& emit(Instruction inst) {
+    fn_.append(current_, inst);
+    return *this;
+  }
+  FunctionBuilder& op(Opcode o) { return emit(Instruction::make(o)); }
+
+  // Constants.
+  FunctionBuilder& const_i32(int32_t v) {
+    return emit(Instruction::with_imm(Opcode::ConstI32, v));
+  }
+  FunctionBuilder& const_i64(int64_t v) {
+    return emit(Instruction::with_imm(Opcode::ConstI64, v));
+  }
+  FunctionBuilder& const_f32(float v) {
+    return emit(Instruction::with_f32(Opcode::ConstF32, v));
+  }
+  FunctionBuilder& const_f64(double v) {
+    return emit(Instruction::with_f64(Opcode::ConstF64, v));
+  }
+
+  // Locals.
+  FunctionBuilder& get(uint32_t local) {
+    return emit(Instruction::with_a(Opcode::LocalGet, local));
+  }
+  FunctionBuilder& set(uint32_t local) {
+    return emit(Instruction::with_a(Opcode::LocalSet, local));
+  }
+
+  // Memory (offset defaults to 0).
+  FunctionBuilder& load(Opcode o, int64_t offset = 0) {
+    return emit(Instruction::with_imm(o, offset));
+  }
+  FunctionBuilder& store(Opcode o, int64_t offset = 0) {
+    return emit(Instruction::with_imm(o, offset));
+  }
+
+  // Vector lane ops.
+  FunctionBuilder& lane_op(Opcode o, uint32_t lane) {
+    return emit(Instruction::with_a(o, lane));
+  }
+
+  // Control.
+  FunctionBuilder& jump(uint32_t target) {
+    return emit(Instruction::with_a(Opcode::Jump, target));
+  }
+  FunctionBuilder& br_if(uint32_t taken, uint32_t fallthrough) {
+    return emit({Opcode::BranchIf, taken, fallthrough, 0});
+  }
+  FunctionBuilder& ret() { return op(Opcode::Ret); }
+  FunctionBuilder& call(uint32_t func_idx) {
+    return emit(Instruction::with_a(Opcode::Call, func_idx));
+  }
+
+  FunctionBuilder& annotate(Annotation a) {
+    fn_.annotations().push_back(std::move(a));
+    return *this;
+  }
+
+ private:
+  Function fn_;
+  uint32_t current_ = 0;
+};
+
+}  // namespace svc

@@ -1,0 +1,81 @@
+#include "bytecode/disassembler.h"
+
+#include <sstream>
+
+namespace svc {
+
+std::string disassemble(const Instruction& inst) {
+  const OpInfo& info = op_info(inst.op);
+  std::ostringstream os;
+  os << info.mnemonic;
+  switch (info.imm) {
+    case ImmKind::NoImm:
+      break;
+    case ImmKind::I64:
+      os << ' ' << inst.imm;
+      break;
+    case ImmKind::F32:
+      os << ' ' << inst.f32_imm();
+      break;
+    case ImmKind::F64:
+      os << ' ' << inst.f64_imm();
+      break;
+    case ImmKind::LocalIdx:
+      os << " $" << inst.a;
+      break;
+    case ImmKind::FuncIdx:
+      os << " @" << inst.a;
+      break;
+    case ImmKind::MemOff:
+      if (inst.imm != 0) os << " +" << inst.imm;
+      break;
+    case ImmKind::Lane:
+      os << " [" << inst.a << ']';
+      break;
+    case ImmKind::Block:
+      os << " ->bb" << inst.a;
+      break;
+    case ImmKind::Block2:
+      os << " ->bb" << inst.a << " else ->bb" << inst.b;
+      break;
+  }
+  return os.str();
+}
+
+std::string disassemble(const Function& fn) {
+  std::ostringstream os;
+  os << "fn " << fn.name() << '(';
+  for (size_t i = 0; i < fn.sig().params.size(); ++i) {
+    if (i) os << ", ";
+    os << type_name(fn.sig().params[i]);
+  }
+  os << ')';
+  if (fn.sig().ret != Type::Void) os << " -> " << type_name(fn.sig().ret);
+  os << '\n';
+  for (size_t i = fn.num_params(); i < fn.num_locals(); ++i) {
+    os << "  local $" << i << ": "
+       << type_name(fn.local_type(static_cast<uint32_t>(i))) << '\n';
+  }
+  for (const auto& ann : fn.annotations()) {
+    os << "  ;; annotation kind=" << static_cast<uint32_t>(ann.kind)
+       << " bytes=" << ann.payload.size() << '\n';
+  }
+  for (uint32_t b = 0; b < fn.num_blocks(); ++b) {
+    os << "bb" << b << ":\n";
+    for (const auto& inst : fn.block(b).insts) {
+      os << "  " << disassemble(inst) << '\n';
+    }
+  }
+  return os.str();
+}
+
+std::string disassemble(const Module& module) {
+  std::string out;
+  for (const auto& fn : module.functions()) {
+    out += disassemble(fn);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace svc

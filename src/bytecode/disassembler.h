@@ -1,0 +1,15 @@
+// Textual dump of SVIL functions/modules, used by tests, examples and the
+// debugging workflow ("same bytecode runs on the workstation", paper S3).
+#pragma once
+
+#include <string>
+
+#include "bytecode/module.h"
+
+namespace svc {
+
+[[nodiscard]] std::string disassemble(const Instruction& inst);
+[[nodiscard]] std::string disassemble(const Function& fn);
+[[nodiscard]] std::string disassemble(const Module& module);
+
+}  // namespace svc

@@ -1,0 +1,11 @@
+#include "bytecode/function.h"
+
+namespace svc {
+
+size_t Function::size() const {
+  size_t n = 0;
+  for (const auto& b : blocks_) n += b.insts.size();
+  return n;
+}
+
+}  // namespace svc

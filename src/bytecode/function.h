@@ -1,0 +1,90 @@
+// SVIL functions and basic blocks.
+//
+// Design restriction (documented in DESIGN.md S5.1): the evaluation stack
+// is empty at every basic-block boundary. Values that live across blocks
+// are held in locals. This keeps the verifier a per-block type-checker
+// and makes the JIT's stack-to-register translation a single forward walk.
+// The offline lowering always produces code in this form.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bytecode/annotations.h"
+#include "bytecode/instruction.h"
+#include "bytecode/type.h"
+
+namespace svc {
+
+struct BasicBlock {
+  std::vector<Instruction> insts;
+
+  [[nodiscard]] bool empty() const { return insts.empty(); }
+  [[nodiscard]] const Instruction& terminator() const { return insts.back(); }
+};
+
+struct FunctionSig {
+  std::vector<Type> params;
+  Type ret = Type::Void;
+
+  friend bool operator==(const FunctionSig&, const FunctionSig&) = default;
+};
+
+class Function {
+ public:
+  Function() = default;
+  Function(std::string name, FunctionSig sig)
+      : name_(std::move(name)), sig_(std::move(sig)) {
+    locals_ = sig_.params;  // locals [0, params) alias the parameters
+  }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const FunctionSig& sig() const { return sig_; }
+  [[nodiscard]] size_t num_params() const { return sig_.params.size(); }
+
+  /// Adds a non-parameter local; returns its index.
+  uint32_t add_local(Type t) {
+    locals_.push_back(t);
+    return static_cast<uint32_t>(locals_.size() - 1);
+  }
+  [[nodiscard]] const std::vector<Type>& locals() const { return locals_; }
+  [[nodiscard]] Type local_type(uint32_t idx) const { return locals_[idx]; }
+  [[nodiscard]] size_t num_locals() const { return locals_.size(); }
+
+  /// Appends an empty block; returns its index. Block 0 is the entry.
+  uint32_t add_block() {
+    blocks_.emplace_back();
+    return static_cast<uint32_t>(blocks_.size() - 1);
+  }
+  [[nodiscard]] std::vector<BasicBlock>& blocks() { return blocks_; }
+  [[nodiscard]] const std::vector<BasicBlock>& blocks() const {
+    return blocks_;
+  }
+  [[nodiscard]] BasicBlock& block(uint32_t idx) { return blocks_[idx]; }
+  [[nodiscard]] const BasicBlock& block(uint32_t idx) const {
+    return blocks_[idx];
+  }
+  [[nodiscard]] size_t num_blocks() const { return blocks_.size(); }
+
+  void append(uint32_t block, Instruction inst) {
+    blocks_[block].insts.push_back(inst);
+  }
+
+  [[nodiscard]] std::vector<Annotation>& annotations() { return annotations_; }
+  [[nodiscard]] const std::vector<Annotation>& annotations() const {
+    return annotations_;
+  }
+
+  /// Total instruction count across all blocks.
+  [[nodiscard]] size_t size() const;
+
+ private:
+  std::string name_;
+  FunctionSig sig_;
+  std::vector<Type> locals_;
+  std::vector<BasicBlock> blocks_;
+  std::vector<Annotation> annotations_;
+};
+
+}  // namespace svc

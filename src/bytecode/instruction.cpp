@@ -1,0 +1,3 @@
+#include "bytecode/instruction.h"
+
+// Instruction is a plain value type; this TU anchors it in the library.

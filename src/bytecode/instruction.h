@@ -1,0 +1,41 @@
+// A single SVIL instruction. The meaning of a/b/imm is given by the
+// opcode's ImmKind (see opcode.h). Instructions are plain values; all
+// structure (blocks, functions) lives in function.h.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "bytecode/opcode.h"
+
+namespace svc {
+
+struct Instruction {
+  Opcode op = Opcode::Nop;
+  uint32_t a = 0;   // local idx | func idx | lane | branch target 0
+  uint32_t b = 0;   // branch target 1 (BranchIf fallthrough)
+  int64_t imm = 0;  // integer constant | float bits | memory offset
+
+  [[nodiscard]] float f32_imm() const {
+    return std::bit_cast<float>(static_cast<uint32_t>(imm));
+  }
+  [[nodiscard]] double f64_imm() const {
+    return std::bit_cast<double>(static_cast<uint64_t>(imm));
+  }
+
+  static Instruction make(Opcode op) { return {op, 0, 0, 0}; }
+  static Instruction with_a(Opcode op, uint32_t a) { return {op, a, 0, 0}; }
+  static Instruction with_imm(Opcode op, int64_t imm) {
+    return {op, 0, 0, imm};
+  }
+  static Instruction with_f32(Opcode op, float v) {
+    return {op, 0, 0, static_cast<int64_t>(std::bit_cast<uint32_t>(v))};
+  }
+  static Instruction with_f64(Opcode op, double v) {
+    return {op, 0, 0, static_cast<int64_t>(std::bit_cast<uint64_t>(v))};
+  }
+
+  friend bool operator==(const Instruction&, const Instruction&) = default;
+};
+
+}  // namespace svc

@@ -1,0 +1,12 @@
+#include "bytecode/module.h"
+
+namespace svc {
+
+std::optional<uint32_t> Module::find_function(std::string_view name) const {
+  for (uint32_t i = 0; i < functions_.size(); ++i) {
+    if (functions_[i].name() == name) return i;
+  }
+  return std::nullopt;
+}
+
+}  // namespace svc

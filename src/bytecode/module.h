@@ -1,0 +1,50 @@
+// An SVIL module: the unit of deployment. Holds functions plus a linear-
+// memory size hint. This is what the offline compiler produces, what gets
+// serialized for distribution, and what every JIT and the interpreter load.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bytecode/function.h"
+
+namespace svc {
+
+class Module {
+ public:
+  /// Appends a function; returns its index.
+  uint32_t add_function(Function fn) {
+    functions_.push_back(std::move(fn));
+    return static_cast<uint32_t>(functions_.size() - 1);
+  }
+
+  [[nodiscard]] const std::vector<Function>& functions() const {
+    return functions_;
+  }
+  [[nodiscard]] std::vector<Function>& functions() { return functions_; }
+  [[nodiscard]] size_t num_functions() const { return functions_.size(); }
+  [[nodiscard]] const Function& function(uint32_t idx) const {
+    return functions_[idx];
+  }
+  [[nodiscard]] Function& function(uint32_t idx) { return functions_[idx]; }
+
+  [[nodiscard]] std::optional<uint32_t> find_function(
+      std::string_view name) const;
+
+  /// Minimum linear-memory size (bytes) the module expects at run time.
+  void set_memory_hint(uint64_t bytes) { memory_hint_ = bytes; }
+  [[nodiscard]] uint64_t memory_hint() const { return memory_hint_; }
+
+  void set_name(std::string name) { name_ = std::move(name); }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::vector<Function> functions_;
+  uint64_t memory_hint_ = 1 << 20;
+};
+
+}  // namespace svc

@@ -1,0 +1,64 @@
+#include "bytecode/opcode.h"
+
+#include <array>
+
+#include "support/diagnostics.h"
+
+namespace svc {
+namespace {
+
+constexpr std::array<OpInfo, kNumOpcodes> kOpTable = {{
+#define SVC_OP(Name, mnemonic, pops, pushes, imm, category, lanes, membytes) \
+  OpInfo{mnemonic,       pops,                                               \
+         pushes,         ImmKind::imm,                                       \
+         OpCategory::category, LaneKind::lanes,                              \
+         membytes},
+#include "bytecode/opcodes.def"
+#undef SVC_OP
+}};
+
+}  // namespace
+
+const OpInfo& op_info(Opcode op) {
+  const auto idx = static_cast<size_t>(op);
+  if (idx >= kNumOpcodes) fatal("op_info: opcode out of range");
+  return kOpTable[idx];
+}
+
+std::string_view op_mnemonic(Opcode op) { return op_info(op).mnemonic; }
+
+bool is_terminator(Opcode op) {
+  switch (op) {
+    case Opcode::Jump:
+    case Opcode::BranchIf:
+    case Opcode::Ret:
+    case Opcode::Trap:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_vector_op(Opcode op) {
+  switch (op_info(op).category) {
+    case OpCategory::VectorConst:
+    case OpCategory::VectorArith:
+    case OpCategory::VectorReduce:
+    case OpCategory::VectorLane:
+      return true;
+    case OpCategory::Load:
+    case OpCategory::Store:
+      return op_info(op).mem_bytes == 16;
+    default:
+      return false;
+  }
+}
+
+std::optional<Opcode> opcode_from_mnemonic(std::string_view m) {
+  for (size_t i = 0; i < kNumOpcodes; ++i) {
+    if (kOpTable[i].mnemonic == m) return static_cast<Opcode>(i);
+  }
+  return std::nullopt;
+}
+
+}  // namespace svc

@@ -1,0 +1,88 @@
+// Opcode enumeration and static metadata, generated from opcodes.def.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "bytecode/type.h"
+
+namespace svc {
+
+enum class Opcode : uint16_t {
+#define SVC_OP(Name, mnemonic, pops, pushes, imm, category, lanes, membytes) \
+  Name,
+#include "bytecode/opcodes.def"
+#undef SVC_OP
+  Count_,
+};
+
+inline constexpr size_t kNumOpcodes = static_cast<size_t>(Opcode::Count_);
+
+/// What the `a`/`b`/`imm` fields of an Instruction mean for an opcode.
+enum class ImmKind : uint8_t {
+  NoImm,     // no immediate
+  I64,       // imm = integer constant
+  F32,       // imm = bit_cast of a float constant
+  F64,       // imm = bit_cast of a double constant
+  LocalIdx,  // a = local index
+  FuncIdx,   // a = callee function index
+  MemOff,    // imm = byte offset added to popped address
+  Lane,      // a = vector lane index
+  Block,     // a = jump target block
+  Block2,    // a = taken target block, b = fallthrough target block
+};
+
+enum class OpCategory : uint8_t {
+  Const,
+  Local,
+  IntArith,
+  FloatArith,
+  Cmp,
+  Select,
+  Conv,
+  Load,
+  Store,
+  VectorConst,
+  VectorArith,
+  VectorReduce,
+  VectorLane,
+  Control,
+  Call,
+  Misc,
+};
+
+/// Static description of one opcode. `pops` lists popped operand types in
+/// push order (top of stack is the last character). Polymorphic opcodes
+/// (locals, ret, call, drop) have empty signatures and are special-cased
+/// by the verifier / interpreter / JIT.
+struct OpInfo {
+  std::string_view mnemonic;
+  std::string_view pops;
+  std::string_view pushes;
+  ImmKind imm = ImmKind::NoImm;
+  OpCategory category = OpCategory::Misc;
+  LaneKind lanes = LaneKind::None;
+  uint8_t mem_bytes = 0;
+
+  [[nodiscard]] bool is_terminator_category() const {
+    return category == OpCategory::Control;
+  }
+  [[nodiscard]] Type push_type() const {
+    return pushes.empty() ? Type::Void : type_from_code(pushes[0]);
+  }
+};
+
+[[nodiscard]] const OpInfo& op_info(Opcode op);
+[[nodiscard]] std::string_view op_mnemonic(Opcode op);
+
+/// True for opcodes that must end a basic block (Jump/BranchIf/Ret/Trap).
+[[nodiscard]] bool is_terminator(Opcode op);
+
+/// True for the vector builtins the split vectorizer emits.
+[[nodiscard]] bool is_vector_op(Opcode op);
+
+/// Reverse lookup used by the assembler in tests; O(n), fine offline.
+[[nodiscard]] std::optional<Opcode> opcode_from_mnemonic(std::string_view m);
+
+}  // namespace svc

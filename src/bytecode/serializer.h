@@ -1,0 +1,31 @@
+// Binary (de)serialization of SVIL modules -- the deployment image format
+// (paper S2.1: bytecode as a compact distribution format; bench/bytecode_size
+// measures the compactness claim).
+//
+// Layout: magic "SVIL", format version, module name, memory hint, function
+// table, then a CRC-32 trailer over everything before it. All integers are
+// LEB128; instruction immediates are encoded per ImmKind, so instructions
+// without immediates take exactly one or two bytes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bytecode/module.h"
+
+namespace svc {
+
+[[nodiscard]] std::vector<uint8_t> serialize_module(const Module& module);
+
+struct DeserializeResult {
+  std::optional<Module> module;
+  std::string error;  // set when module is nullopt
+};
+
+[[nodiscard]] DeserializeResult deserialize_module(
+    std::span<const uint8_t> bytes);
+
+}  // namespace svc

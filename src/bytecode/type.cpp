@@ -1,0 +1,100 @@
+#include "bytecode/type.h"
+
+#include "support/diagnostics.h"
+
+namespace svc {
+
+std::string_view type_name(Type t) {
+  switch (t) {
+    case Type::Void: return "void";
+    case Type::I32: return "i32";
+    case Type::I64: return "i64";
+    case Type::F32: return "f32";
+    case Type::F64: return "f64";
+    case Type::V128: return "v128";
+  }
+  return "?";
+}
+
+uint32_t type_size(Type t) {
+  switch (t) {
+    case Type::Void: return 0;
+    case Type::I32: return 4;
+    case Type::I64: return 8;
+    case Type::F32: return 4;
+    case Type::F64: return 8;
+    case Type::V128: return 16;
+  }
+  return 0;
+}
+
+char type_code(Type t) {
+  switch (t) {
+    case Type::Void: return ' ';
+    case Type::I32: return 'i';
+    case Type::I64: return 'l';
+    case Type::F32: return 'f';
+    case Type::F64: return 'd';
+    case Type::V128: return 'v';
+  }
+  return '?';
+}
+
+Type type_from_code(char c) {
+  switch (c) {
+    case 'i': return Type::I32;
+    case 'l': return Type::I64;
+    case 'f': return Type::F32;
+    case 'd': return Type::F64;
+    case 'v': return Type::V128;
+    default: return Type::Void;
+  }
+}
+
+std::string_view lane_kind_name(LaneKind k) {
+  switch (k) {
+    case LaneKind::None: return "none";
+    case LaneKind::U8x16: return "u8x16";
+    case LaneKind::U16x8: return "u16x8";
+    case LaneKind::I32x4: return "i32x4";
+    case LaneKind::F32x4: return "f32x4";
+  }
+  return "?";
+}
+
+uint32_t lane_count(LaneKind k) {
+  switch (k) {
+    case LaneKind::None: return 0;
+    case LaneKind::U8x16: return 16;
+    case LaneKind::U16x8: return 8;
+    case LaneKind::I32x4: return 4;
+    case LaneKind::F32x4: return 4;
+  }
+  return 0;
+}
+
+uint32_t lane_bytes(LaneKind k) {
+  switch (k) {
+    case LaneKind::None: return 0;
+    case LaneKind::U8x16: return 1;
+    case LaneKind::U16x8: return 2;
+    case LaneKind::I32x4: return 4;
+    case LaneKind::F32x4: return 4;
+  }
+  return 0;
+}
+
+Type lane_scalar_type(LaneKind k) {
+  switch (k) {
+    case LaneKind::None: return Type::Void;
+    case LaneKind::U8x16:
+    case LaneKind::U16x8:
+    case LaneKind::I32x4:
+      return Type::I32;
+    case LaneKind::F32x4:
+      return Type::F32;
+  }
+  return Type::Void;
+}
+
+}  // namespace svc

@@ -1,0 +1,48 @@
+// SVIL value types. The virtual ISA is typed (like CLI): every stack slot,
+// local and instruction operand has one of these types. V128 is the
+// portable vector type backing the split-vectorization builtins; its lane
+// interpretation (16xU8, 8xU16, 4xI32, 4xF32) is chosen per opcode, not
+// carried by the value, exactly like SSE/AltiVec registers.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace svc {
+
+enum class Type : uint8_t {
+  Void = 0,
+  I32,
+  I64,
+  F32,
+  F64,
+  V128,
+};
+
+[[nodiscard]] std::string_view type_name(Type t);
+
+/// Size in bytes of a value of type `t` in linear memory (Void -> 0).
+[[nodiscard]] uint32_t type_size(Type t);
+
+/// Single-character code used in opcode stack signatures ('i','l','f','d','v').
+[[nodiscard]] char type_code(Type t);
+
+/// Inverse of type_code; returns Type::Void for unknown codes.
+[[nodiscard]] Type type_from_code(char c);
+
+/// Lane interpretations of V128 used by vector opcodes.
+enum class LaneKind : uint8_t {
+  None = 0,
+  U8x16,
+  U16x8,
+  I32x4,
+  F32x4,
+};
+
+[[nodiscard]] std::string_view lane_kind_name(LaneKind k);
+[[nodiscard]] uint32_t lane_count(LaneKind k);
+[[nodiscard]] uint32_t lane_bytes(LaneKind k);
+/// Scalar SVIL type used when one lane is extracted / scalarized.
+[[nodiscard]] Type lane_scalar_type(LaneKind k);
+
+}  // namespace svc

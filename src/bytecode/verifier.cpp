@@ -1,0 +1,212 @@
+#include "bytecode/verifier.h"
+
+#include <string>
+#include <vector>
+
+namespace svc {
+namespace {
+
+class FunctionVerifier {
+ public:
+  FunctionVerifier(const Module& module, const Function& fn,
+                   DiagnosticEngine& diags)
+      : module_(module), fn_(fn), diags_(diags) {}
+
+  bool run() {
+    if (fn_.num_blocks() == 0) {
+      error("function has no blocks");
+      return false;
+    }
+    for (uint32_t b = 0; b < fn_.num_blocks(); ++b) {
+      verify_block(b);
+    }
+    return ok_;
+  }
+
+ private:
+  void error(std::string msg) {
+    diags_.error({}, fn_.name() + ": " + std::move(msg));
+    ok_ = false;
+  }
+  void block_error(uint32_t block, size_t idx, const Instruction& inst,
+                   std::string msg) {
+    error("block " + std::to_string(block) + " inst " + std::to_string(idx) +
+          " (" + std::string(op_mnemonic(inst.op)) + "): " + std::move(msg));
+  }
+
+  bool pop(uint32_t block, size_t idx, const Instruction& inst,
+           Type expected) {
+    if (stack_.empty()) {
+      block_error(block, idx, inst, "stack underflow");
+      return false;
+    }
+    const Type got = stack_.back();
+    stack_.pop_back();
+    if (got != expected) {
+      block_error(block, idx, inst,
+                  "expected " + std::string(type_name(expected)) + ", got " +
+                      std::string(type_name(got)));
+      return false;
+    }
+    return true;
+  }
+
+  bool pop_any(uint32_t block, size_t idx, const Instruction& inst) {
+    if (stack_.empty()) {
+      block_error(block, idx, inst, "stack underflow");
+      return false;
+    }
+    stack_.pop_back();
+    return true;
+  }
+
+  /// Pops operands per `pops` signature (listed in push order, so popped
+  /// back-to-front).
+  bool pop_signature(uint32_t block, size_t idx, const Instruction& inst,
+                     std::string_view pops) {
+    for (size_t i = pops.size(); i-- > 0;) {
+      if (!pop(block, idx, inst, type_from_code(pops[i]))) return false;
+    }
+    return true;
+  }
+
+  void verify_block(uint32_t block_idx) {
+    const BasicBlock& block = fn_.block(block_idx);
+    stack_.clear();
+    if (block.empty()) {
+      error("block " + std::to_string(block_idx) + " is empty");
+      return;
+    }
+    for (size_t i = 0; i < block.insts.size(); ++i) {
+      const Instruction& inst = block.insts[i];
+      const bool is_last = i + 1 == block.insts.size();
+      if (is_terminator(inst.op) != is_last) {
+        block_error(block_idx, i, inst,
+                    is_last ? "block does not end with a terminator"
+                            : "terminator in the middle of a block");
+        return;
+      }
+      if (!verify_inst(block_idx, i, inst)) return;
+    }
+    if (!stack_.empty()) {
+      error("block " + std::to_string(block_idx) +
+            " leaves " + std::to_string(stack_.size()) +
+            " values on the stack at its boundary");
+    }
+  }
+
+  bool check_block_target(uint32_t block, size_t idx, const Instruction& inst,
+                          uint32_t target) {
+    if (target >= fn_.num_blocks()) {
+      block_error(block, idx, inst,
+                  "branch target " + std::to_string(target) + " out of range");
+      return false;
+    }
+    return true;
+  }
+
+  bool verify_inst(uint32_t block, size_t idx, const Instruction& inst) {
+    if (static_cast<size_t>(inst.op) >= kNumOpcodes) {
+      block_error(block, idx, inst, "unknown opcode");
+      return false;
+    }
+    const OpInfo& info = op_info(inst.op);
+
+    switch (inst.op) {
+      case Opcode::LocalGet: {
+        if (inst.a >= fn_.num_locals()) {
+          block_error(block, idx, inst, "local index out of range");
+          return false;
+        }
+        stack_.push_back(fn_.local_type(inst.a));
+        return true;
+      }
+      case Opcode::LocalSet: {
+        if (inst.a >= fn_.num_locals()) {
+          block_error(block, idx, inst, "local index out of range");
+          return false;
+        }
+        return pop(block, idx, inst, fn_.local_type(inst.a));
+      }
+      case Opcode::Ret: {
+        if (fn_.sig().ret != Type::Void) {
+          if (!pop(block, idx, inst, fn_.sig().ret)) return false;
+        }
+        if (!stack_.empty()) {
+          block_error(block, idx, inst, "stack not empty at return");
+          return false;
+        }
+        return true;
+      }
+      case Opcode::Call: {
+        if (inst.a >= module_.num_functions()) {
+          block_error(block, idx, inst, "callee index out of range");
+          return false;
+        }
+        const FunctionSig& callee = module_.function(inst.a).sig();
+        for (size_t p = callee.params.size(); p-- > 0;) {
+          if (!pop(block, idx, inst, callee.params[p])) return false;
+        }
+        if (callee.ret != Type::Void) stack_.push_back(callee.ret);
+        return true;
+      }
+      case Opcode::Drop:
+        return pop_any(block, idx, inst);
+      case Opcode::Jump:
+        return check_block_target(block, idx, inst, inst.a);
+      case Opcode::BranchIf: {
+        if (!pop(block, idx, inst, Type::I32)) return false;
+        return check_block_target(block, idx, inst, inst.a) &&
+               check_block_target(block, idx, inst, inst.b);
+      }
+      default:
+        break;
+    }
+
+    // Immediate validity.
+    switch (info.imm) {
+      case ImmKind::MemOff:
+        if (inst.imm < 0 || inst.imm >= (int64_t{1} << 31)) {
+          block_error(block, idx, inst, "memory offset out of range");
+          return false;
+        }
+        break;
+      case ImmKind::Lane:
+        if (inst.a >= lane_count(info.lanes)) {
+          block_error(block, idx, inst, "lane index out of range");
+          return false;
+        }
+        break;
+      default:
+        break;
+    }
+
+    // Generic typed stack effect.
+    if (!pop_signature(block, idx, inst, info.pops)) return false;
+    if (!info.pushes.empty()) stack_.push_back(info.push_type());
+    return true;
+  }
+
+  const Module& module_;
+  const Function& fn_;
+  DiagnosticEngine& diags_;
+  std::vector<Type> stack_;
+  bool ok_ = true;
+};
+
+}  // namespace
+
+bool verify_function(const Module& module, const Function& fn,
+                     DiagnosticEngine& diags) {
+  return FunctionVerifier(module, fn, diags).run();
+}
+
+bool verify_module(const Module& module, DiagnosticEngine& diags) {
+  bool ok = true;
+  for (const auto& fn : module.functions()) {
+    ok &= verify_function(module, fn, diags);
+  }
+  return ok;
+}
+
+}  // namespace svc

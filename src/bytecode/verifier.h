@@ -1,0 +1,30 @@
+// SVIL verifier: the load-time safety gate every deployed module passes
+// before interpretation or JIT compilation (paper S2.2: verification is an
+// offline/load-time responsibility in a deferred-compilation toolchain).
+//
+// Checks, per function:
+//  - every block is non-empty and ends with exactly one terminator;
+//  - branch targets, local indices, callee indices and lane indices are
+//    in range;
+//  - abstract interpretation of stack *types* through each block: operand
+//    types match opcode signatures, locals are accessed at their declared
+//    type, Call matches the callee signature, Ret matches the return type;
+//  - the evaluation stack is empty at every block boundary (the SVIL
+//    structural restriction) and never underflows;
+//  - memory offsets are non-negative and below 2^31.
+#pragma once
+
+#include "bytecode/module.h"
+#include "support/diagnostics.h"
+
+namespace svc {
+
+/// Verifies the whole module; diagnostics (prefixed with the function
+/// name) are appended to `diags`. Returns true when no error was found.
+bool verify_module(const Module& module, DiagnosticEngine& diags);
+
+/// Verifies one function against its containing module (needed for Call).
+bool verify_function(const Module& module, const Function& fn,
+                     DiagnosticEngine& diags);
+
+}  // namespace svc

@@ -1,0 +1,180 @@
+#include "driver/kernels.h"
+
+#include <array>
+
+namespace svc {
+namespace {
+
+// --- Table 1 kernels (paper S4, [42]) -----------------------------------
+
+constexpr std::string_view kVecAdd = R"(
+// vecadd fp: c[i] = a[i] + b[i]
+fn vecadd(c: *f32, a: *f32, b: *f32, n: i32) {
+  var i: i32 = 0;
+  while (i < n) {
+    c[i] = a[i] + b[i];
+    i = i + 1;
+  }
+}
+)";
+
+constexpr std::string_view kSaxpy = R"(
+// saxpy fp: y[i] = a * x[i] + y[i]
+fn saxpy(a: f32, x: *f32, y: *f32, n: i32) {
+  var i: i32 = 0;
+  while (i < n) {
+    y[i] = a * x[i] + y[i];
+    i = i + 1;
+  }
+}
+)";
+
+constexpr std::string_view kDscal = R"(
+// dscal fp: x[i] = a * x[i]   (f32 lanes; the paper's fp scaling kernel)
+fn dscal(a: f32, x: *f32, n: i32) {
+  var i: i32 = 0;
+  while (i < n) {
+    x[i] = a * x[i];
+    i = i + 1;
+  }
+}
+)";
+
+constexpr std::string_view kMaxU8 = R"(
+// max u8: running maximum over bytes
+fn max_u8(p: *u8, n: i32) -> i32 {
+  var m: i32 = 0;
+  var i: i32 = 0;
+  while (i < n) {
+    m = max_u(m, p[i]);
+    i = i + 1;
+  }
+  return m;
+}
+)";
+
+constexpr std::string_view kSumU8 = R"(
+// sum u8: widening byte sum
+fn sum_u8(p: *u8, n: i32) -> i32 {
+  var s: i32 = 0;
+  var i: i32 = 0;
+  while (i < n) {
+    s = s + p[i];
+    i = i + 1;
+  }
+  return s;
+}
+)";
+
+constexpr std::string_view kSumU16 = R"(
+// sum u16: widening 16-bit sum
+fn sum_u16(p: *u16, n: i32) -> i32 {
+  var s: i32 = 0;
+  var i: i32 = 0;
+  while (i < n) {
+    s = s + p[i];
+    i = i + 1;
+  }
+  return s;
+}
+)";
+
+constexpr std::array<KernelInfo, 6> kTable1 = {{
+    {"vecadd fp", "vecadd", kVecAdd, KernelShape::MapF32},
+    {"saxpy fp", "saxpy", kSaxpy, KernelShape::MapF32},
+    {"dscal fp", "dscal", kDscal, KernelShape::ScaleF32},
+    {"max u8", "max_u8", kMaxU8, KernelShape::ReduceU8},
+    {"sum u8", "sum_u8", kSumU8, KernelShape::ReduceU8},
+    {"sum u16", "sum_u16", kSumU16, KernelShape::ReduceU16},
+}};
+
+// --- auxiliary kernels -----------------------------------------------------
+
+constexpr std::string_view kBranchyMax = R"(
+// Branchy scalar max: the data-dependent-branch formulation.
+fn max_u8_branchy(p: *u8, n: i32) -> i32 {
+  var m: i32 = 0;
+  var i: i32 = 0;
+  while (i < n) {
+    var t: i32 = p[i];
+    if (t > m) {
+      m = t;
+    }
+    i = i + 1;
+  }
+  return m;
+}
+)";
+
+constexpr KernelInfo kBranchyMaxInfo = {
+    "max u8 (branchy)", "max_u8_branchy", kBranchyMax, KernelShape::ReduceU8};
+
+constexpr std::string_view kControl = R"(
+// Control-heavy token scanner: counts runs of bytes above a threshold.
+// Dominated by unpredictable branches; the mapper should keep it on the
+// host core rather than a deep-pipeline accelerator.
+fn count_runs(p: *u8, n: i32, thresh: i32) -> i32 {
+  var runs: i32 = 0;
+  var inside: i32 = 0;
+  var i: i32 = 0;
+  while (i < n) {
+    var v: i32 = p[i];
+    if (v > thresh) {
+      if (inside == 0) {
+        runs = runs + 1;
+        inside = 1;
+      }
+    } else {
+      inside = 0;
+    }
+    i = i + 1;
+  }
+  return runs;
+}
+)";
+
+constexpr KernelInfo kControlInfo = {"count_runs", "count_runs", kControl,
+                                     KernelShape::ReduceU8};
+
+constexpr std::string_view kFir = R"(
+// 4-tap FIR filter over f32 samples: out[i] = sum_k h[k] * in[i+k].
+// The taps are scalar parameters so the inner computation stays a
+// vectorizable map over the input window.
+fn fir4(out: *f32, in: *f32, n: i32, h0: f32, h1: f32) {
+  var i: i32 = 0;
+  while (i < n) {
+    out[i] = h0 * in[i] + h1 * in[i + 1];
+    i = i + 1;
+  }
+}
+
+fn gain(x: *f32, n: i32, g: f32) {
+  var i: i32 = 0;
+  while (i < n) {
+    x[i] = g * x[i];
+    i = i + 1;
+  }
+}
+
+fn energy(x: *f32, n: i32) -> f32 {
+  var acc: f32 = 0.0;
+  var i: i32 = 0;
+  while (i < n) {
+    acc = acc + x[i] * x[i];
+    i = i + 1;
+  }
+  return acc;
+}
+)";
+
+}  // namespace
+
+std::span<const KernelInfo> table1_kernels() { return kTable1; }
+
+const KernelInfo& branchy_max_kernel() { return kBranchyMaxInfo; }
+
+const KernelInfo& control_kernel() { return kControlInfo; }
+
+std::string_view fir_source() { return kFir; }
+
+}  // namespace svc

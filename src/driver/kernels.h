@@ -1,0 +1,43 @@
+// The kernel suite: MiniC sources for the six Table 1 kernels plus the
+// extra workloads used by the examples, the heterogeneous-offload bench
+// and the iterative-compilation driver.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "bytecode/type.h"
+
+namespace svc {
+
+/// What a kernel's runner needs to know to drive and check it.
+enum class KernelShape : uint8_t {
+  MapF32,       // fn(c, a, b, n) or fn(a, x, y, n): f32 arrays, void
+  ScaleF32,     // fn(a, x, n): x[i] *= a, void
+  ReduceU8,     // fn(p, n) -> i32 over u8 data
+  ReduceU16,    // fn(p, n) -> i32 over u16 data
+};
+
+struct KernelInfo {
+  std::string_view name;      // table row label, e.g. "vecadd fp"
+  std::string_view fn_name;   // MiniC function name
+  std::string_view source;    // standalone MiniC module
+  KernelShape shape;
+};
+
+/// The six kernels of Table 1, in the paper's row order.
+[[nodiscard]] std::span<const KernelInfo> table1_kernels();
+
+/// Branchy scalar max over u8 (the if-based variant; ablation for
+/// if-conversion and the branch-predictor cost model).
+[[nodiscard]] const KernelInfo& branchy_max_kernel();
+
+/// A control-heavy kernel (state machine over bytes) used by the
+/// heterogeneous mapper: it should stay on the host core.
+[[nodiscard]] const KernelInfo& control_kernel();
+
+/// FIR filter (f32) used by the dataflow/offload example and bench.
+[[nodiscard]] std::string_view fir_source();
+
+}  // namespace svc

@@ -1,0 +1,132 @@
+#include "driver/offline_compiler.h"
+
+#include <chrono>
+#include <vector>
+
+#include "bytecode/verifier.h"
+#include "frontend/irgen.h"
+#include "frontend/parser.h"
+#include "ir/lower_bytecode.h"
+#include "ir/vectorizer.h"
+#include "regalloc/split_alloc.h"
+#include "support/diagnostics.h"
+
+namespace svc {
+namespace {
+
+/// Static hardware-affinity estimate for the mapper (S3: "annotations may
+/// also express the hardware requirements or characteristics of a code
+/// module").
+HardwareHintsInfo compute_hw_hints(const Function& fn) {
+  // Blocks inside loops dominate dynamic behavior: weight them by an
+  // estimated trip factor derived from back edges (same heuristic the
+  // spill-priority analysis uses).
+  std::vector<double> weight(fn.num_blocks(), 1.0);
+  for (uint32_t b = 0; b < fn.num_blocks(); ++b) {
+    const Instruction& term = fn.block(b).terminator();
+    auto mark = [&](uint32_t target) {
+      if (target <= b) {
+        for (uint32_t d = target; d <= b; ++d) weight[d] *= 16.0;
+      }
+    };
+    if (term.op == Opcode::Jump) mark(term.a);
+    if (term.op == Opcode::BranchIf) {
+      mark(term.a);
+      mark(term.b);
+    }
+  }
+
+  double vector_ops = 0, float_ops = 0, branches = 0, total = 0;
+  for (uint32_t b = 0; b < fn.num_blocks(); ++b) {
+    for (const Instruction& inst : fn.block(b).insts) {
+      const double w = weight[b];
+      total += w;
+      if (is_vector_op(inst.op)) vector_ops += w;
+      const OpCategory cat = op_info(inst.op).category;
+      if (cat == OpCategory::FloatArith) float_ops += w;
+      if (inst.op == Opcode::BranchIf) branches += w;
+    }
+  }
+  HardwareHintsInfo info;
+  if (vector_ops > 0) info.features |= kFeatureSimd;
+  if (float_ops > 0) info.features |= kFeatureFloat;
+  // Data-dependent branching beyond the loop back edges themselves.
+  if (total > 0 && branches * 10.0 > total) {
+    info.features |= kFeatureControlHeavy;
+  }
+  info.vector_intensity =
+      total == 0 ? 0 : static_cast<uint32_t>(100.0 * vector_ops / total);
+  return info;
+}
+
+}  // namespace
+
+std::optional<Module> compile_source(std::string_view source,
+                                     const OfflineOptions& options,
+                                     DiagnosticEngine& diags,
+                                     Statistics* stats) {
+  const auto t0 = std::chrono::steady_clock::now();
+
+  auto program = parse_program(source, diags);
+  if (!program) return std::nullopt;
+  auto ir_fns = generate_ir(*program, diags);
+  if (!ir_fns) return std::nullopt;
+
+  Module module;
+  for (IRFunction& ir : *ir_fns) {
+    const PassStats pass_stats = run_passes(ir, options.passes);
+    if (stats) {
+      stats->add("offline.folded", pass_stats.folded);
+      stats->add("offline.simplified", pass_stats.simplified);
+      stats->add("offline.dce_removed", pass_stats.dce_removed);
+      stats->add("offline.if_converted", pass_stats.if_converted);
+    }
+
+    VectorizeStats vstats;
+    if (options.vectorize) {
+      vstats = vectorize(ir);
+      // Vectorization introduces new values; clean up again.
+      run_passes(ir, options.passes);
+      if (stats) {
+        stats->add("offline.loops_vectorized", vstats.loops_vectorized);
+        stats->add("offline.widening_reductions",
+                   vstats.widening_reductions);
+        stats->add("offline.accumulator_reductions",
+                   vstats.accumulator_reductions);
+      }
+    }
+
+    Function fn = lower_to_bytecode(ir);
+    for (const auto& [header, vf] : vstats.vectorized_headers) {
+      fn.annotations().push_back(
+          VectorizedLoopInfo{header, vf, true}.encode());
+    }
+    if (options.annotate_spill_priorities) annotate_spill_priorities(fn);
+    if (options.annotate_hardware_hints) {
+      fn.annotations().push_back(compute_hw_hints(fn).encode());
+    }
+    module.add_function(std::move(fn));
+  }
+
+  if (!verify_module(module, diags)) return std::nullopt;
+
+  if (stats) {
+    const auto t1 = std::chrono::steady_clock::now();
+    stats->add("offline.compile_us",
+               std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
+                   .count());
+  }
+  return module;
+}
+
+Module compile_or_die(std::string_view source,
+                      const OfflineOptions& options) {
+  DiagnosticEngine diags;
+  auto module = compile_source(source, options, diags);
+  if (!module) {
+    fatal("compile_or_die failed:\n" + diags.dump());
+  }
+  return std::move(*module);
+}
+
+}  // namespace svc

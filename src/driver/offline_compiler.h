@@ -1,0 +1,39 @@
+// The offline half of the split pipeline (Figure 1, left): MiniC source ->
+// typed AST -> IR -> scalar optimizations -> automatic vectorization ->
+// SVIL bytecode + annotations (vectorized loops, spill priorities,
+// hardware hints) -> verified Module ready for serialization.
+//
+// Everything expensive lives here, on the "developer's powerful
+// workstation"; the per-target JIT consumes the result.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "bytecode/module.h"
+#include "ir/passes.h"
+#include "support/diagnostics.h"
+#include "support/statistics.h"
+
+namespace svc {
+
+struct OfflineOptions {
+  PassOptions passes;
+  bool vectorize = true;
+  bool annotate_spill_priorities = true;
+  bool annotate_hardware_hints = true;
+};
+
+/// Compiles MiniC `source` into a deployable module. Returns nullopt with
+/// diagnostics on any error (including verifier failures, which indicate
+/// compiler bugs and are reported rather than asserted).
+[[nodiscard]] std::optional<Module> compile_source(
+    std::string_view source, const OfflineOptions& options,
+    DiagnosticEngine& diags, Statistics* stats = nullptr);
+
+/// Convenience wrapper with default options; fatals on error (for tests
+/// and benches compiling known-good kernel sources).
+[[nodiscard]] Module compile_or_die(std::string_view source,
+                                    const OfflineOptions& options = {});
+
+}  // namespace svc

@@ -1,0 +1,41 @@
+#include "driver/online_compiler.h"
+
+#include <chrono>
+
+#include "support/diagnostics.h"
+
+namespace svc {
+
+void OnlineTarget::load(const Module& module) {
+  module_ = &module;
+  jit_stats_.clear();
+  const auto t0 = std::chrono::steady_clock::now();
+  code_.clear();
+  code_.reserve(module.num_functions());
+  for (uint32_t i = 0; i < module.num_functions(); ++i) {
+    JitArtifact artifact = jit_.compile(module, i);
+    jit_stats_.merge(artifact.stats);
+    code_.push_back(std::move(artifact.code));
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  jit_seconds_ = std::chrono::duration<double>(t1 - t0).count();
+}
+
+SimResult OnlineTarget::run(std::string_view name,
+                            const std::vector<Value>& args, Memory& memory,
+                            uint64_t step_budget) {
+  if (!module_) fatal("OnlineTarget::run before load");
+  const auto idx = module_->find_function(name);
+  if (!idx) fatal("OnlineTarget::run: unknown function");
+  Simulator sim(desc_, code_, memory);
+  sim.set_step_budget(step_budget);
+  return sim.run(*idx, args);
+}
+
+size_t OnlineTarget::code_bytes() const {
+  size_t total = 0;
+  for (const MFunction& fn : code_) total += fn.code_bytes();
+  return total;
+}
+
+}  // namespace svc

@@ -1,0 +1,48 @@
+// A deployed target: the device-side pairing of a JIT compiler and its
+// simulated core. Loading a module JIT-compiles every function; `run`
+// executes on the cycle-approximate simulator. This is what "shipping the
+// same bytecode to three machines" looks like in the reproduction.
+#pragma once
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "bytecode/module.h"
+#include "jit/jit_compiler.h"
+#include "targets/simulator.h"
+#include "targets/target_registry.h"
+
+namespace svc {
+
+class OnlineTarget {
+ public:
+  explicit OnlineTarget(TargetKind kind, JitOptions options = {})
+      : desc_(target_desc(kind)), jit_(desc_, options) {}
+
+  [[nodiscard]] const MachineDesc& desc() const { return desc_; }
+  [[nodiscard]] const Statistics& jit_stats() const { return jit_stats_; }
+  [[nodiscard]] double jit_seconds() const { return jit_seconds_; }
+  [[nodiscard]] const std::vector<MFunction>& code() const { return code_; }
+
+  /// JIT-compiles every function of `module` for this target.
+  void load(const Module& module);
+
+  /// Runs a loaded function by name on `memory`.
+  [[nodiscard]] SimResult run(std::string_view name,
+                              const std::vector<Value>& args, Memory& memory,
+                              uint64_t step_budget = uint64_t{1} << 32);
+
+  /// Total emitted code size (deployment footprint per target).
+  [[nodiscard]] size_t code_bytes() const;
+
+ private:
+  const MachineDesc& desc_;
+  JitCompiler jit_;
+  const Module* module_ = nullptr;
+  std::vector<MFunction> code_;
+  Statistics jit_stats_;
+  double jit_seconds_ = 0.0;
+};
+
+}  // namespace svc

@@ -1,0 +1,127 @@
+// MiniC abstract syntax. Types are annotated onto expression nodes by
+// semantic analysis (sema.h) before IR generation consumes the tree.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bytecode/type.h"
+#include "frontend/token.h"
+
+namespace svc {
+
+/// A MiniC type: a scalar SVIL type or a pointer to an element type.
+/// Pointers are i32 byte addresses into linear memory; u8/u16 are valid
+/// *element* types only (loads widen to i32, stores truncate).
+struct MType {
+  enum class Kind : uint8_t { Invalid, Scalar, Pointer } kind = Kind::Invalid;
+  Type scalar = Type::Void;   // Scalar: the value type
+  Type elem = Type::Void;     // Pointer: element value type (as loaded)
+  uint32_t elem_size = 0;     // Pointer: element size in bytes
+  bool elem_unsigned = false; // Pointer: u8/u16 elements load zero-extended
+
+  static MType invalid() { return {}; }
+  static MType scalar_of(Type t) {
+    return {Kind::Scalar, t, Type::Void, 0, false};
+  }
+  static MType pointer_of(Type elem, uint32_t size, bool uns) {
+    return {Kind::Pointer, Type::I32, elem, size, uns};
+  }
+  [[nodiscard]] bool is_scalar() const { return kind == Kind::Scalar; }
+  [[nodiscard]] bool is_pointer() const { return kind == Kind::Pointer; }
+  [[nodiscard]] bool valid() const { return kind != Kind::Invalid; }
+  [[nodiscard]] std::string str() const;
+
+  friend bool operator==(const MType&, const MType&) = default;
+};
+
+// --- Expressions ----------------------------------------------------------
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class ExprKind : uint8_t {
+  IntLit,
+  FloatLit,
+  VarRef,
+  Unary,   // op: Minus or Not
+  Binary,  // op: arithmetic / comparison / logical
+  Index,   // base[index]
+  Call,    // callee(args...)
+  Cast,    // expr as type
+};
+
+struct Expr {
+  ExprKind kind;
+  SourceLoc loc;
+  MType type;  // filled by sema
+
+  // Literals.
+  int64_t int_value = 0;
+  double float_value = 0;
+  bool float_is_f32 = false;
+
+  // VarRef / Call.
+  std::string name;
+  uint32_t symbol_id = 0;  // sema: variable slot or callee index
+
+  Tok op = Tok::Eof;  // Unary/Binary operator
+  ExprPtr lhs, rhs;   // Binary; Unary/Index/Cast use lhs (+rhs for Index)
+  std::vector<ExprPtr> args;  // Call
+  MType cast_to;              // Cast
+};
+
+// --- Statements -------------------------------------------------------------
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+enum class StmtKind : uint8_t {
+  VarDecl,
+  Assign,      // target = value (target: VarRef or Index)
+  If,
+  While,
+  For,
+  Return,
+  ExprStmt,
+  Block,
+};
+
+struct Stmt {
+  StmtKind kind;
+  SourceLoc loc;
+
+  // VarDecl.
+  std::string var_name;
+  MType var_type;
+  uint32_t symbol_id = 0;  // sema
+
+  ExprPtr target;  // Assign lhs
+  ExprPtr expr;    // init / value / condition / return expr
+  StmtPtr init, step;            // For
+  std::vector<StmtPtr> body;     // Block / If-then / While / For
+  std::vector<StmtPtr> else_body;  // If
+};
+
+// --- Declarations ------------------------------------------------------------
+
+struct Param {
+  std::string name;
+  MType type;
+  SourceLoc loc;
+};
+
+struct FnDecl {
+  std::string name;
+  std::vector<Param> params;
+  MType ret = MType::scalar_of(Type::Void);
+  std::vector<StmtPtr> body;
+  SourceLoc loc;
+};
+
+struct Program {
+  std::vector<FnDecl> functions;
+};
+
+}  // namespace svc

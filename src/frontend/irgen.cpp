@@ -1,0 +1,685 @@
+#include "frontend/irgen.h"
+
+#include <map>
+
+namespace svc {
+namespace {
+
+struct TypedValue {
+  ValueId id = kNoValue;
+  MType type;
+};
+
+class FnGenerator {
+ public:
+  FnGenerator(const FnDecl& decl, const std::vector<FnSig>& sigs,
+              DiagnosticEngine& diags)
+      : decl_(decl),
+        sigs_(sigs),
+        diags_(diags),
+        fn_(decl.name, param_types(decl), value_type_of(decl.ret)) {}
+
+  std::optional<IRFunction> run() {
+    cur_ = fn_.add_block();
+    // Bind parameters.
+    for (uint32_t p = 0; p < decl_.params.size(); ++p) {
+      vars_[decl_.params[p].name] = {p, decl_.params[p].type};
+    }
+    for (const StmtPtr& s : decl_.body) {
+      if (!gen_stmt(*s)) return std::nullopt;
+    }
+    // Implicit return for void functions / fall-off guard for non-void,
+    // applied to every unterminated block (join blocks can end up empty
+    // when both arms of an if return).
+    for (uint32_t b = 0; b < fn_.num_blocks(); ++b) {
+      IRBlock& blk = fn_.block(b);
+      if (!blk.insts.empty() && blk.insts.back().is_terminator()) continue;
+      IRBuilder builder{fn_, b};
+      if (b == cur_ && fn_.ret_type() == Type::Void) {
+        builder.ret();
+      } else {
+        builder.emit(
+            {Opcode::Trap, kNoValue, kNoValue, kNoValue, kNoValue, 0, 0, 0});
+      }
+    }
+    return std::move(fn_);
+  }
+
+ private:
+  static std::vector<Type> param_types(const FnDecl& decl) {
+    std::vector<Type> out;
+    for (const Param& p : decl.params) out.push_back(value_type_of(p.type));
+    return out;
+  }
+
+  bool error(SourceLoc loc, std::string msg) {
+    diags_.error(loc, std::move(msg));
+    return false;
+  }
+
+  [[nodiscard]] bool block_terminated() const {
+    const IRBlock& b = fn_.block(cur_);
+    return !b.insts.empty() && b.insts.back().is_terminator();
+  }
+
+  IRBuilder builder() { return IRBuilder{fn_, cur_}; }
+
+  // --- statements ---------------------------------------------------------
+
+  bool gen_stmt(const Stmt& stmt) {
+    if (block_terminated()) return true;  // unreachable code: skip quietly
+    switch (stmt.kind) {
+      case StmtKind::VarDecl: {
+        if (vars_.count(stmt.var_name)) {
+          return error(stmt.loc,
+                       "redefinition of '" + stmt.var_name + "'");
+        }
+        const ValueId id = fn_.new_value(value_type_of(stmt.var_type));
+        vars_[stmt.var_name] = {id, stmt.var_type};
+        if (stmt.expr) {
+          auto v = gen_expr(*stmt.expr, &stmt.var_type);
+          if (!v) return false;
+          if (!(v->type == stmt.var_type)) {
+            return error(stmt.loc, "initializer type " + v->type.str() +
+                                       " does not match " +
+                                       stmt.var_type.str());
+          }
+          builder().emit(ir_copy(id, v->id));
+        } else {
+          // Zero-initialize.
+          zero_init(id, value_type_of(stmt.var_type));
+        }
+        return true;
+      }
+      case StmtKind::Assign:
+        return gen_assign(stmt);
+      case StmtKind::If:
+        return gen_if(stmt);
+      case StmtKind::While:
+        return gen_while(stmt);
+      case StmtKind::For:
+        return gen_for(stmt);
+      case StmtKind::Return: {
+        IRBuilder b = builder();
+        if (fn_.ret_type() == Type::Void) {
+          if (stmt.expr) return error(stmt.loc, "void function returns value");
+          b.ret();
+          return true;
+        }
+        if (!stmt.expr) return error(stmt.loc, "missing return value");
+        const MType want = decl_.ret;
+        auto v = gen_expr(*stmt.expr, &want);
+        if (!v) return false;
+        if (value_type_of(v->type) != fn_.ret_type()) {
+          return error(stmt.loc, "return type mismatch");
+        }
+        builder().ret(v->id);
+        return true;
+      }
+      case StmtKind::ExprStmt: {
+        auto v = gen_expr(*stmt.expr, nullptr);
+        return v.has_value();
+      }
+      case StmtKind::Block: {
+        // MiniC has function-level scoping for simplicity; a block just
+        // sequences statements.
+        for (const StmtPtr& s : stmt.body) {
+          if (!gen_stmt(*s)) return false;
+        }
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void zero_init(ValueId id, Type t) {
+    IRBuilder b = builder();
+    switch (t) {
+      case Type::I32:
+        b.emit({Opcode::ConstI32, id, kNoValue, kNoValue, kNoValue, 0, 0, 0});
+        break;
+      case Type::I64:
+        b.emit({Opcode::ConstI64, id, kNoValue, kNoValue, kNoValue, 0, 0, 0});
+        break;
+      case Type::F32:
+        b.emit({Opcode::ConstF32, id, kNoValue, kNoValue, kNoValue, 0, 0, 0});
+        break;
+      case Type::F64:
+        b.emit({Opcode::ConstF64, id, kNoValue, kNoValue, kNoValue, 0, 0, 0});
+        break;
+      default:
+        break;
+    }
+  }
+
+  bool gen_assign(const Stmt& stmt) {
+    const Expr& target = *stmt.target;
+    if (target.kind == ExprKind::VarRef) {
+      const auto it = vars_.find(target.name);
+      if (it == vars_.end()) {
+        return error(target.loc, "unknown variable '" + target.name + "'");
+      }
+      auto v = gen_expr(*stmt.expr, &it->second.type);
+      if (!v) return false;
+      if (!(v->type == it->second.type)) {
+        return error(stmt.loc, "cannot assign " + v->type.str() + " to " +
+                                   it->second.type.str());
+      }
+      builder().emit(ir_copy(it->second.id, v->id));
+      return true;
+    }
+    // Indexed store: base[idx] = value.
+    const auto addr = gen_index_addr(target);
+    if (!addr) return false;
+    const MType elem_mt = elem_value_type(addr->elem);
+    auto v = gen_expr(*stmt.expr, &elem_mt);
+    if (!v) return false;
+    if (value_type_of(v->type) != value_type_of(elem_mt)) {
+      return error(stmt.loc, "store type mismatch");
+    }
+    builder().store(addr->store_op, addr->addr, v->id, 0);
+    return true;
+  }
+
+  bool gen_if(const Stmt& stmt) {
+    const uint32_t then_b = fn_.add_block();
+    const uint32_t else_b = stmt.else_body.empty() ? 0 : fn_.add_block();
+    const uint32_t join_b = fn_.add_block();
+    const uint32_t false_target = stmt.else_body.empty() ? join_b : else_b;
+
+    if (!gen_cond(*stmt.expr, then_b, false_target)) return false;
+
+    cur_ = then_b;
+    for (const StmtPtr& s : stmt.body) {
+      if (!gen_stmt(*s)) return false;
+    }
+    if (!block_terminated()) builder().jump(join_b);
+
+    if (!stmt.else_body.empty()) {
+      cur_ = else_b;
+      for (const StmtPtr& s : stmt.else_body) {
+        if (!gen_stmt(*s)) return false;
+      }
+      if (!block_terminated()) builder().jump(join_b);
+    }
+    cur_ = join_b;
+    return true;
+  }
+
+  bool gen_while(const Stmt& stmt) {
+    const uint32_t head = fn_.add_block();
+    const uint32_t body = fn_.add_block();
+    const uint32_t done = fn_.add_block();
+    builder().jump(head);
+
+    cur_ = head;
+    if (!gen_cond(*stmt.expr, body, done)) return false;
+
+    cur_ = body;
+    for (const StmtPtr& s : stmt.body) {
+      if (!gen_stmt(*s)) return false;
+    }
+    if (!block_terminated()) builder().jump(head);
+
+    cur_ = done;
+    return true;
+  }
+
+  bool gen_for(const Stmt& stmt) {
+    if (stmt.init && !gen_stmt(*stmt.init)) return false;
+    const uint32_t head = fn_.add_block();
+    const uint32_t body = fn_.add_block();
+    const uint32_t done = fn_.add_block();
+    builder().jump(head);
+
+    cur_ = head;
+    if (stmt.expr) {
+      if (!gen_cond(*stmt.expr, body, done)) return false;
+    } else {
+      builder().jump(body);
+    }
+
+    cur_ = body;
+    for (const StmtPtr& s : stmt.body) {
+      if (!gen_stmt(*s)) return false;
+    }
+    if (!block_terminated()) {
+      if (stmt.step && !gen_stmt(*stmt.step)) return false;
+      builder().jump(head);
+    }
+    cur_ = done;
+    return true;
+  }
+
+  /// Generates a branch on `cond` with short-circuit && / || / !.
+  bool gen_cond(const Expr& cond, uint32_t if_true, uint32_t if_false) {
+    if (cond.kind == ExprKind::Binary && cond.op == Tok::AndAnd) {
+      const uint32_t mid = fn_.add_block();
+      if (!gen_cond(*cond.lhs, mid, if_false)) return false;
+      cur_ = mid;
+      return gen_cond(*cond.rhs, if_true, if_false);
+    }
+    if (cond.kind == ExprKind::Binary && cond.op == Tok::OrOr) {
+      const uint32_t mid = fn_.add_block();
+      if (!gen_cond(*cond.lhs, if_true, mid)) return false;
+      cur_ = mid;
+      return gen_cond(*cond.rhs, if_true, if_false);
+    }
+    if (cond.kind == ExprKind::Unary && cond.op == Tok::Not) {
+      return gen_cond(*cond.lhs, if_false, if_true);
+    }
+    auto v = gen_expr(cond, nullptr);
+    if (!v) return false;
+    if (value_type_of(v->type) != Type::I32) {
+      return error(cond.loc, "condition must be i32");
+    }
+    builder().br_if(v->id, if_true, if_false);
+    return true;
+  }
+
+  // --- expressions ---------------------------------------------------------
+
+  struct IndexAddr {
+    ValueId addr;
+    MType elem;       // pointer type of the base (element info)
+    Opcode load_op;
+    Opcode store_op;
+  };
+
+  std::optional<IndexAddr> gen_index_addr(const Expr& e) {
+    auto base = gen_expr(*e.lhs, nullptr);
+    if (!base) return std::nullopt;
+    if (!base->type.is_pointer()) {
+      error(e.loc, "indexing a non-pointer value");
+      return std::nullopt;
+    }
+    const MType i32 = MType::scalar_of(Type::I32);
+    auto idx = gen_expr(*e.rhs, &i32);
+    if (!idx) return std::nullopt;
+    if (value_type_of(idx->type) != Type::I32) {
+      error(e.loc, "index must be i32");
+      return std::nullopt;
+    }
+    IRBuilder b = builder();
+    ValueId offset = idx->id;
+    if (base->type.elem_size > 1) {
+      const ValueId k = b.const_i32(static_cast<int32_t>(base->type.elem_size));
+      offset = b.binop(Opcode::MulI32, Type::I32, idx->id, k);
+    }
+    const ValueId addr = b.binop(Opcode::AddI32, Type::I32, base->id, offset);
+
+    IndexAddr out;
+    out.addr = addr;
+    out.elem = base->type;
+    switch (base->type.elem_size) {
+      case 1:
+        out.load_op = Opcode::LoadI8U;
+        out.store_op = Opcode::StoreI8;
+        break;
+      case 2:
+        out.load_op = Opcode::LoadI16U;
+        out.store_op = Opcode::StoreI16;
+        break;
+      case 4:
+        out.load_op = base->type.elem == Type::F32 ? Opcode::LoadF32
+                                                   : Opcode::LoadI32;
+        out.store_op = base->type.elem == Type::F32 ? Opcode::StoreF32
+                                                    : Opcode::StoreI32;
+        break;
+      default:
+        out.load_op = Opcode::LoadF64;
+        out.store_op = Opcode::StoreF64;
+        break;
+    }
+    return out;
+  }
+
+  /// Element type as a scalar MType (u8/u16 widen to i32).
+  static MType elem_value_type(const MType& ptr) {
+    return MType::scalar_of(ptr.elem);
+  }
+
+  std::optional<TypedValue> gen_expr(const Expr& e, const MType* want) {
+    switch (e.kind) {
+      case ExprKind::IntLit: {
+        IRBuilder b = builder();
+        // Contextual typing of integer literals (C-like convenience).
+        if (want && want->is_scalar()) {
+          switch (want->scalar) {
+            case Type::F32: {
+              const ValueId id =
+                  b.const_f32(static_cast<float>(e.int_value));
+              return TypedValue{id, MType::scalar_of(Type::F32)};
+            }
+            case Type::F64: {
+              const ValueId id = fn_.new_value(Type::F64);
+              b.emit({Opcode::ConstF64, id, kNoValue, kNoValue, kNoValue,
+                      static_cast<int64_t>(std::bit_cast<uint64_t>(
+                          static_cast<double>(e.int_value))),
+                      0, 0});
+              return TypedValue{id, MType::scalar_of(Type::F64)};
+            }
+            case Type::I64: {
+              const ValueId id = fn_.new_value(Type::I64);
+              b.emit({Opcode::ConstI64, id, kNoValue, kNoValue, kNoValue,
+                      e.int_value, 0, 0});
+              return TypedValue{id, MType::scalar_of(Type::I64)};
+            }
+            default:
+              break;
+          }
+        }
+        const ValueId id = b.const_i32(static_cast<int32_t>(e.int_value));
+        return TypedValue{id, MType::scalar_of(Type::I32)};
+      }
+      case ExprKind::FloatLit: {
+        IRBuilder b = builder();
+        const bool as_f64 = !e.float_is_f32 && want && want->is_scalar() &&
+                            want->scalar == Type::F64;
+        if (as_f64) {
+          const ValueId id = fn_.new_value(Type::F64);
+          b.emit({Opcode::ConstF64, id, kNoValue, kNoValue, kNoValue,
+                  static_cast<int64_t>(std::bit_cast<uint64_t>(e.float_value)),
+                  0, 0});
+          return TypedValue{id, MType::scalar_of(Type::F64)};
+        }
+        const ValueId id = b.const_f32(static_cast<float>(e.float_value));
+        return TypedValue{id, MType::scalar_of(Type::F32)};
+      }
+      case ExprKind::VarRef: {
+        const auto it = vars_.find(e.name);
+        if (it == vars_.end()) {
+          error(e.loc, "unknown variable '" + e.name + "'");
+          return std::nullopt;
+        }
+        return TypedValue{it->second.id, it->second.type};
+      }
+      case ExprKind::Index: {
+        auto addr = gen_index_addr(e);
+        if (!addr) return std::nullopt;
+        IRBuilder b = builder();
+        const Type t = addr->elem.elem;
+        const ValueId id = b.load(addr->load_op, addr->addr, 0, t);
+        return TypedValue{id, MType::scalar_of(t)};
+      }
+      case ExprKind::Unary:
+        return gen_unary(e);
+      case ExprKind::Binary:
+        return gen_binary(e, want);
+      case ExprKind::Cast:
+        return gen_cast(e);
+      case ExprKind::Call:
+        return gen_call(e);
+    }
+    return std::nullopt;
+  }
+
+  std::optional<TypedValue> gen_unary(const Expr& e) {
+    auto v = gen_expr(*e.lhs, nullptr);
+    if (!v) return std::nullopt;
+    IRBuilder b = builder();
+    const Type t = value_type_of(v->type);
+    if (e.op == Tok::Not) {
+      if (t != Type::I32) {
+        error(e.loc, "'!' requires an i32 operand");
+        return std::nullopt;
+      }
+      return TypedValue{b.unop(Opcode::EqzI32, Type::I32, v->id), v->type};
+    }
+    // Unary minus.
+    switch (t) {
+      case Type::I32: {
+        const ValueId zero = b.const_i32(0);
+        return TypedValue{b.binop(Opcode::SubI32, Type::I32, zero, v->id),
+                          v->type};
+      }
+      case Type::I64: {
+        const ValueId zero = fn_.new_value(Type::I64);
+        b.emit({Opcode::ConstI64, zero, kNoValue, kNoValue, kNoValue, 0, 0,
+                0});
+        return TypedValue{b.binop(Opcode::SubI64, Type::I64, zero, v->id),
+                          v->type};
+      }
+      case Type::F32:
+        return TypedValue{b.unop(Opcode::NegF32, Type::F32, v->id), v->type};
+      case Type::F64:
+        return TypedValue{b.unop(Opcode::NegF64, Type::F64, v->id), v->type};
+      default:
+        error(e.loc, "cannot negate this type");
+        return std::nullopt;
+    }
+  }
+
+  std::optional<TypedValue> gen_binary(const Expr& e, const MType* want) {
+    // Logical operators in value position: evaluate both, normalize, and
+    // combine bitwise (conditions use gen_cond for short-circuit).
+    if (e.op == Tok::AndAnd || e.op == Tok::OrOr) {
+      auto l = gen_expr(*e.lhs, nullptr);
+      auto r = gen_expr(*e.rhs, nullptr);
+      if (!l || !r) return std::nullopt;
+      IRBuilder b = builder();
+      const ValueId zero1 = b.const_i32(0);
+      const ValueId ln = b.binop(Opcode::NeI32, Type::I32, l->id, zero1);
+      const ValueId zero2 = b.const_i32(0);
+      const ValueId rn = b.binop(Opcode::NeI32, Type::I32, r->id, zero2);
+      const Opcode op = e.op == Tok::AndAnd ? Opcode::AndI32 : Opcode::OrI32;
+      return TypedValue{b.binop(op, Type::I32, ln, rn),
+                        MType::scalar_of(Type::I32)};
+    }
+
+    // Evaluate operands with cross-typing hints for literals.
+    auto l = gen_expr(*e.lhs, want);
+    if (!l) return std::nullopt;
+    auto r = gen_expr(*e.rhs, &l->type);
+    if (!r) return std::nullopt;
+    // Re-evaluate the left side as literal-typed if the right side fixed
+    // the type (e.g. `2 * x` with x f32): literals only, cheap re-gen.
+    if (!(l->type == r->type) && e.lhs->kind == ExprKind::IntLit) {
+      l = gen_expr(*e.lhs, &r->type);
+      if (!l) return std::nullopt;
+    }
+    if (!(l->type == r->type)) {
+      error(e.loc, "operand types differ: " + l->type.str() + " vs " +
+                       r->type.str() + " (use 'as')");
+      return std::nullopt;
+    }
+    const Type t = value_type_of(l->type);
+    IRBuilder b = builder();
+
+    struct OpRow {
+      Opcode i32, i64, f32, f64;
+      bool is_cmp;
+    };
+    auto row = [&](Tok op) -> std::optional<OpRow> {
+      switch (op) {
+        case Tok::Plus:
+          return OpRow{Opcode::AddI32, Opcode::AddI64, Opcode::AddF32,
+                       Opcode::AddF64, false};
+        case Tok::Minus:
+          return OpRow{Opcode::SubI32, Opcode::SubI64, Opcode::SubF32,
+                       Opcode::SubF64, false};
+        case Tok::Star:
+          return OpRow{Opcode::MulI32, Opcode::MulI64, Opcode::MulF32,
+                       Opcode::MulF64, false};
+        case Tok::Slash:
+          return OpRow{Opcode::DivSI32, Opcode::DivSI64, Opcode::DivF32,
+                       Opcode::DivF64, false};
+        case Tok::Percent:
+          return OpRow{Opcode::RemSI32, Opcode::Nop, Opcode::Nop, Opcode::Nop,
+                       false};
+        case Tok::Eq:
+          return OpRow{Opcode::EqI32, Opcode::EqI64, Opcode::EqF32,
+                       Opcode::EqF64, true};
+        case Tok::Ne:
+          return OpRow{Opcode::NeI32, Opcode::NeI64, Opcode::NeF32,
+                       Opcode::NeF64, true};
+        case Tok::Lt:
+          return OpRow{Opcode::LtSI32, Opcode::LtSI64, Opcode::LtF32,
+                       Opcode::LtF64, true};
+        case Tok::Le:
+          return OpRow{Opcode::LeSI32, Opcode::Nop, Opcode::LeF32,
+                       Opcode::LeF64, true};
+        case Tok::Gt:
+          return OpRow{Opcode::GtSI32, Opcode::GtSI64, Opcode::GtF32,
+                       Opcode::GtF64, true};
+        case Tok::Ge:
+          return OpRow{Opcode::GeSI32, Opcode::Nop, Opcode::GeF32,
+                       Opcode::GeF64, true};
+        default:
+          return std::nullopt;
+      }
+    };
+    const auto r_ = row(e.op);
+    if (!r_) {
+      error(e.loc, "unsupported operator");
+      return std::nullopt;
+    }
+    Opcode op = Opcode::Nop;
+    switch (t) {
+      case Type::I32: op = r_->i32; break;
+      case Type::I64: op = r_->i64; break;
+      case Type::F32: op = r_->f32; break;
+      case Type::F64: op = r_->f64; break;
+      default: break;
+    }
+    if (op == Opcode::Nop) {
+      error(e.loc, "operator not available for type " + l->type.str());
+      return std::nullopt;
+    }
+    const Type result = r_->is_cmp ? Type::I32 : t;
+    const MType result_mt = r_->is_cmp ? MType::scalar_of(Type::I32) : l->type;
+    return TypedValue{b.binop(op, result, l->id, r->id), result_mt};
+  }
+
+  std::optional<TypedValue> gen_cast(const Expr& e) {
+    auto v = gen_expr(*e.lhs, nullptr);
+    if (!v) return std::nullopt;
+    if (!e.cast_to.is_scalar()) {
+      error(e.loc, "can only cast to scalar types");
+      return std::nullopt;
+    }
+    const Type from = value_type_of(v->type);
+    const Type to = e.cast_to.scalar;
+    if (from == to) return TypedValue{v->id, e.cast_to};
+    IRBuilder b = builder();
+    struct Conv {
+      Type from, to;
+      Opcode op;
+    };
+    static constexpr Conv kConvs[] = {
+        {Type::I32, Type::I64, Opcode::I32ToI64S},
+        {Type::I64, Type::I32, Opcode::I64ToI32},
+        {Type::I32, Type::F32, Opcode::I32ToF32S},
+        {Type::F32, Type::I32, Opcode::F32ToI32S},
+        {Type::I32, Type::F64, Opcode::I32ToF64S},
+        {Type::F64, Type::I32, Opcode::F64ToI32S},
+        {Type::F32, Type::F64, Opcode::F32ToF64},
+        {Type::F64, Type::F32, Opcode::F64ToF32},
+        {Type::I64, Type::F64, Opcode::I64ToF64S},
+        {Type::F64, Type::I64, Opcode::F64ToI64S},
+    };
+    for (const Conv& c : kConvs) {
+      if (c.from == from && c.to == to) {
+        return TypedValue{b.unop(c.op, to, v->id), e.cast_to};
+      }
+    }
+    error(e.loc, "unsupported cast");
+    return std::nullopt;
+  }
+
+  std::optional<TypedValue> gen_call(const Expr& e) {
+    // Builtins first.
+    if (const Builtin* bi = find_builtin(e.name)) {
+      if (e.args.size() != bi->arity) {
+        error(e.loc, "builtin '" + e.name + "' expects " +
+                         std::to_string(bi->arity) + " arguments");
+        return std::nullopt;
+      }
+      const MType want = MType::scalar_of(bi->operand);
+      std::vector<TypedValue> args;
+      for (const ExprPtr& a : e.args) {
+        auto v = gen_expr(*a, &want);
+        if (!v) return std::nullopt;
+        if (value_type_of(v->type) != bi->operand) {
+          error(a->loc, "builtin operand must be " +
+                            std::string(type_name(bi->operand)));
+          return std::nullopt;
+        }
+        args.push_back(*v);
+      }
+      IRBuilder b = builder();
+      const ValueId id =
+          bi->arity == 2
+              ? b.binop(bi->op, bi->operand, args[0].id, args[1].id)
+              : b.unop(bi->op, bi->operand, args[0].id);
+      return TypedValue{id, want};
+    }
+
+    // User functions.
+    for (uint32_t f = 0; f < sigs_.size(); ++f) {
+      if (sigs_[f].name != e.name) continue;
+      const FnSig& sig = sigs_[f];
+      if (e.args.size() != sig.params.size()) {
+        error(e.loc, "call arity mismatch for '" + e.name + "'");
+        return std::nullopt;
+      }
+      std::vector<ValueId> arg_ids;
+      for (size_t i = 0; i < e.args.size(); ++i) {
+        auto v = gen_expr(*e.args[i], &sig.params[i]);
+        if (!v) return std::nullopt;
+        if (value_type_of(v->type) != value_type_of(sig.params[i])) {
+          error(e.args[i]->loc, "argument type mismatch");
+          return std::nullopt;
+        }
+        arg_ids.push_back(v->id);
+      }
+      IRBuilder b = builder();
+      IRInst call;
+      call.op = Opcode::Call;
+      call.a = f;
+      // IR calls carry up to 3 register args inline; more use an
+      // argument list spilled through extra copy values.
+      if (arg_ids.size() > 3) {
+        error(e.loc, "calls with more than 3 arguments are not supported "
+                     "by the IR (lower the arity or pack into memory)");
+        return std::nullopt;
+      }
+      call.s0 = arg_ids.size() > 0 ? arg_ids[0] : kNoValue;
+      call.s1 = arg_ids.size() > 1 ? arg_ids[1] : kNoValue;
+      call.s2 = arg_ids.size() > 2 ? arg_ids[2] : kNoValue;
+      const Type ret = value_type_of(sig.ret);
+      if (ret != Type::Void) {
+        call.dst = fn_.new_value(ret);
+      }
+      b.emit(call);
+      return TypedValue{call.dst, sig.ret};
+    }
+    error(e.loc, "unknown function '" + e.name + "'");
+    return std::nullopt;
+  }
+
+  const FnDecl& decl_;
+  const std::vector<FnSig>& sigs_;
+  DiagnosticEngine& diags_;
+  IRFunction fn_;
+  uint32_t cur_ = 0;
+  std::map<std::string, TypedValue, std::less<>> vars_;
+};
+
+}  // namespace
+
+std::optional<std::vector<IRFunction>> generate_ir(const Program& program,
+                                                   DiagnosticEngine& diags) {
+  const std::vector<FnSig> sigs = collect_signatures(program);
+  std::vector<IRFunction> out;
+  out.reserve(program.functions.size());
+  for (const FnDecl& decl : program.functions) {
+    FnGenerator gen(decl, sigs, diags);
+    auto fn = gen.run();
+    if (!fn) return std::nullopt;
+    out.push_back(std::move(*fn));
+  }
+  return out;
+}
+
+}  // namespace svc

@@ -1,0 +1,17 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "frontend/ast.h"
+#include "frontend/sema.h"
+#include "ir/ir.h"
+
+namespace svc {
+
+/// Type-checks `program` and generates one IRFunction per declaration.
+/// Returns nullopt with diagnostics on any semantic error.
+[[nodiscard]] std::optional<std::vector<IRFunction>> generate_ir(
+    const Program& program, DiagnosticEngine& diags);
+
+}  // namespace svc

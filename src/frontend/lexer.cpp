@@ -1,0 +1,265 @@
+#include "frontend/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+
+namespace svc {
+
+std::string_view tok_name(Tok t) {
+  switch (t) {
+    case Tok::Eof: return "<eof>";
+    case Tok::Ident: return "identifier";
+    case Tok::IntLit: return "integer literal";
+    case Tok::FloatLit: return "float literal";
+    case Tok::KwFn: return "fn";
+    case Tok::KwVar: return "var";
+    case Tok::KwIf: return "if";
+    case Tok::KwElse: return "else";
+    case Tok::KwWhile: return "while";
+    case Tok::KwFor: return "for";
+    case Tok::KwReturn: return "return";
+    case Tok::KwAs: return "as";
+    case Tok::LParen: return "(";
+    case Tok::RParen: return ")";
+    case Tok::LBrace: return "{";
+    case Tok::RBrace: return "}";
+    case Tok::LBracket: return "[";
+    case Tok::RBracket: return "]";
+    case Tok::Semi: return ";";
+    case Tok::Colon: return ":";
+    case Tok::Comma: return ",";
+    case Tok::Arrow: return "->";
+    case Tok::Star: return "*";
+    case Tok::Plus: return "+";
+    case Tok::Minus: return "-";
+    case Tok::Slash: return "/";
+    case Tok::Percent: return "%";
+    case Tok::Assign: return "=";
+    case Tok::Eq: return "==";
+    case Tok::Ne: return "!=";
+    case Tok::Lt: return "<";
+    case Tok::Le: return "<=";
+    case Tok::Gt: return ">";
+    case Tok::Ge: return ">=";
+    case Tok::AndAnd: return "&&";
+    case Tok::OrOr: return "||";
+    case Tok::Not: return "!";
+  }
+  return "?";
+}
+
+namespace {
+
+const std::map<std::string, Tok, std::less<>>& keywords() {
+  static const std::map<std::string, Tok, std::less<>> kw = {
+      {"fn", Tok::KwFn},     {"var", Tok::KwVar},       {"if", Tok::KwIf},
+      {"else", Tok::KwElse}, {"while", Tok::KwWhile},   {"for", Tok::KwFor},
+      {"return", Tok::KwReturn}, {"as", Tok::KwAs},
+  };
+  return kw;
+}
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view src, DiagnosticEngine& diags) {
+  std::vector<Token> out;
+  uint32_t line = 1, col = 1;
+  size_t i = 0;
+
+  auto loc = [&]() { return SourceLoc{line, col}; };
+  auto advance = [&](size_t n = 1) {
+    for (size_t k = 0; k < n && i < src.size(); ++k) {
+      if (src[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+      ++i;
+    }
+  };
+  auto peek = [&](size_t off = 0) -> char {
+    return i + off < src.size() ? src[i + off] : '\0';
+  };
+  auto push = [&](Tok kind, SourceLoc at) {
+    Token t;
+    t.kind = kind;
+    t.loc = at;
+    out.push_back(std::move(t));
+  };
+
+  while (i < src.size()) {
+    const char c = peek();
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance();
+      continue;
+    }
+    // Comments: // to end of line.
+    if (c == '/' && peek(1) == '/') {
+      while (i < src.size() && peek() != '\n') advance();
+      continue;
+    }
+    const SourceLoc at = loc();
+
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string word;
+      while (std::isalnum(static_cast<unsigned char>(peek())) ||
+             peek() == '_') {
+        word += peek();
+        advance();
+      }
+      const auto kw = keywords().find(word);
+      if (kw != keywords().end()) {
+        push(kw->second, at);
+      } else {
+        Token t;
+        t.kind = Tok::Ident;
+        t.text = std::move(word);
+        t.loc = at;
+        out.push_back(std::move(t));
+      }
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::string num;
+      bool is_float = false;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) {
+        num += peek();
+        advance();
+      }
+      if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+        is_float = true;
+        num += peek();
+        advance();
+        while (std::isdigit(static_cast<unsigned char>(peek()))) {
+          num += peek();
+          advance();
+        }
+      }
+      if (peek() == 'e' || peek() == 'E') {
+        is_float = true;
+        num += peek();
+        advance();
+        if (peek() == '+' || peek() == '-') {
+          num += peek();
+          advance();
+        }
+        while (std::isdigit(static_cast<unsigned char>(peek()))) {
+          num += peek();
+          advance();
+        }
+      }
+      bool f32_suffix = false;
+      if (peek() == 'f') {
+        f32_suffix = true;
+        is_float = true;
+        advance();
+      }
+      Token t;
+      t.loc = at;
+      if (is_float) {
+        t.kind = Tok::FloatLit;
+        t.float_value = std::strtod(num.c_str(), nullptr);
+        t.float_is_f32 = f32_suffix;
+      } else {
+        t.kind = Tok::IntLit;
+        t.int_value = std::strtoll(num.c_str(), nullptr, 10);
+      }
+      out.push_back(std::move(t));
+      continue;
+    }
+
+    switch (c) {
+      case '(': push(Tok::LParen, at); advance(); break;
+      case ')': push(Tok::RParen, at); advance(); break;
+      case '{': push(Tok::LBrace, at); advance(); break;
+      case '}': push(Tok::RBrace, at); advance(); break;
+      case '[': push(Tok::LBracket, at); advance(); break;
+      case ']': push(Tok::RBracket, at); advance(); break;
+      case ';': push(Tok::Semi, at); advance(); break;
+      case ':': push(Tok::Colon, at); advance(); break;
+      case ',': push(Tok::Comma, at); advance(); break;
+      case '*': push(Tok::Star, at); advance(); break;
+      case '+': push(Tok::Plus, at); advance(); break;
+      case '/': push(Tok::Slash, at); advance(); break;
+      case '%': push(Tok::Percent, at); advance(); break;
+      case '-':
+        if (peek(1) == '>') {
+          push(Tok::Arrow, at);
+          advance(2);
+        } else {
+          push(Tok::Minus, at);
+          advance();
+        }
+        break;
+      case '=':
+        if (peek(1) == '=') {
+          push(Tok::Eq, at);
+          advance(2);
+        } else {
+          push(Tok::Assign, at);
+          advance();
+        }
+        break;
+      case '!':
+        if (peek(1) == '=') {
+          push(Tok::Ne, at);
+          advance(2);
+        } else {
+          push(Tok::Not, at);
+          advance();
+        }
+        break;
+      case '<':
+        if (peek(1) == '=') {
+          push(Tok::Le, at);
+          advance(2);
+        } else {
+          push(Tok::Lt, at);
+          advance();
+        }
+        break;
+      case '>':
+        if (peek(1) == '=') {
+          push(Tok::Ge, at);
+          advance(2);
+        } else {
+          push(Tok::Gt, at);
+          advance();
+        }
+        break;
+      case '&':
+        if (peek(1) == '&') {
+          push(Tok::AndAnd, at);
+          advance(2);
+        } else {
+          diags.error(at, "stray '&'");
+          advance();
+        }
+        break;
+      case '|':
+        if (peek(1) == '|') {
+          push(Tok::OrOr, at);
+          advance(2);
+        } else {
+          diags.error(at, "stray '|'");
+          advance();
+        }
+        break;
+      default:
+        diags.error(at, std::string("unexpected character '") + c + "'");
+        advance();
+        break;
+    }
+  }
+
+  Token eof;
+  eof.kind = Tok::Eof;
+  eof.loc = loc();
+  out.push_back(std::move(eof));
+  return out;
+}
+
+}  // namespace svc

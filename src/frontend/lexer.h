@@ -1,0 +1,14 @@
+#pragma once
+
+#include <vector>
+
+#include "frontend/token.h"
+
+namespace svc {
+
+/// Tokenizes `source`. Lexical errors go to `diags`; the returned stream
+/// always ends with an Eof token.
+[[nodiscard]] std::vector<Token> lex(std::string_view source,
+                                     DiagnosticEngine& diags);
+
+}  // namespace svc

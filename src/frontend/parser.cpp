@@ -1,0 +1,465 @@
+#include "frontend/parser.h"
+
+#include "frontend/lexer.h"
+
+namespace svc {
+namespace {
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, DiagnosticEngine& diags)
+      : tokens_(std::move(tokens)), diags_(diags) {}
+
+  std::optional<Program> run() {
+    Program prog;
+    while (!at(Tok::Eof)) {
+      auto fn = parse_fn();
+      if (!fn) return std::nullopt;
+      prog.functions.push_back(std::move(*fn));
+    }
+    return prog;
+  }
+
+ private:
+  const Token& cur() const { return tokens_[pos_]; }
+  bool at(Tok t) const { return cur().kind == t; }
+  Token take() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+  bool accept(Tok t) {
+    if (!at(t)) return false;
+    take();
+    return true;
+  }
+  bool expect(Tok t) {
+    if (accept(t)) return true;
+    diags_.error(cur().loc, "expected '" + std::string(tok_name(t)) +
+                                "', found '" +
+                                std::string(tok_name(cur().kind)) + "'");
+    return false;
+  }
+
+  std::optional<MType> parse_type() {
+    if (accept(Tok::Star)) {
+      if (!at(Tok::Ident)) {
+        diags_.error(cur().loc, "expected element type after '*'");
+        return std::nullopt;
+      }
+      const Token t = take();
+      if (t.text == "u8") return MType::pointer_of(Type::I32, 1, true);
+      if (t.text == "u16") return MType::pointer_of(Type::I32, 2, true);
+      if (t.text == "i32") return MType::pointer_of(Type::I32, 4, false);
+      if (t.text == "f32") return MType::pointer_of(Type::F32, 4, false);
+      if (t.text == "f64") return MType::pointer_of(Type::F64, 8, false);
+      diags_.error(t.loc, "unknown element type '" + t.text + "'");
+      return std::nullopt;
+    }
+    if (!at(Tok::Ident)) {
+      diags_.error(cur().loc, "expected type");
+      return std::nullopt;
+    }
+    const Token t = take();
+    if (t.text == "i32") return MType::scalar_of(Type::I32);
+    if (t.text == "i64") return MType::scalar_of(Type::I64);
+    if (t.text == "f32") return MType::scalar_of(Type::F32);
+    if (t.text == "f64") return MType::scalar_of(Type::F64);
+    diags_.error(t.loc, "unknown type '" + t.text + "'");
+    return std::nullopt;
+  }
+
+  std::optional<FnDecl> parse_fn() {
+    FnDecl fn;
+    fn.loc = cur().loc;
+    if (!expect(Tok::KwFn)) return std::nullopt;
+    if (!at(Tok::Ident)) {
+      diags_.error(cur().loc, "expected function name");
+      return std::nullopt;
+    }
+    fn.name = take().text;
+    if (!expect(Tok::LParen)) return std::nullopt;
+    if (!at(Tok::RParen)) {
+      do {
+        Param p;
+        p.loc = cur().loc;
+        if (!at(Tok::Ident)) {
+          diags_.error(cur().loc, "expected parameter name");
+          return std::nullopt;
+        }
+        p.name = take().text;
+        if (!expect(Tok::Colon)) return std::nullopt;
+        auto t = parse_type();
+        if (!t) return std::nullopt;
+        p.type = *t;
+        fn.params.push_back(std::move(p));
+      } while (accept(Tok::Comma));
+    }
+    if (!expect(Tok::RParen)) return std::nullopt;
+    if (accept(Tok::Arrow)) {
+      auto t = parse_type();
+      if (!t) return std::nullopt;
+      if (!t->is_scalar()) {
+        diags_.error(fn.loc, "functions return scalar types only");
+        return std::nullopt;
+      }
+      fn.ret = *t;
+    }
+    auto body = parse_block();
+    if (!body) return std::nullopt;
+    fn.body = std::move(*body);
+    return fn;
+  }
+
+  std::optional<std::vector<StmtPtr>> parse_block() {
+    if (!expect(Tok::LBrace)) return std::nullopt;
+    std::vector<StmtPtr> stmts;
+    while (!at(Tok::RBrace) && !at(Tok::Eof)) {
+      auto s = parse_stmt();
+      if (!s) return std::nullopt;
+      stmts.push_back(std::move(*s));
+    }
+    if (!expect(Tok::RBrace)) return std::nullopt;
+    return stmts;
+  }
+
+  std::optional<StmtPtr> parse_stmt() {
+    const SourceLoc loc = cur().loc;
+    if (at(Tok::KwVar)) {
+      take();
+      auto s = std::make_unique<Stmt>();
+      s->kind = StmtKind::VarDecl;
+      s->loc = loc;
+      if (!at(Tok::Ident)) {
+        diags_.error(cur().loc, "expected variable name");
+        return std::nullopt;
+      }
+      s->var_name = take().text;
+      if (!expect(Tok::Colon)) return std::nullopt;
+      auto t = parse_type();
+      if (!t) return std::nullopt;
+      s->var_type = *t;
+      if (accept(Tok::Assign)) {
+        auto e = parse_expr();
+        if (!e) return std::nullopt;
+        s->expr = std::move(*e);
+      }
+      if (!expect(Tok::Semi)) return std::nullopt;
+      return s;
+    }
+    if (at(Tok::KwIf)) return parse_if();
+    if (at(Tok::KwWhile)) {
+      take();
+      auto s = std::make_unique<Stmt>();
+      s->kind = StmtKind::While;
+      s->loc = loc;
+      if (!expect(Tok::LParen)) return std::nullopt;
+      auto c = parse_expr();
+      if (!c) return std::nullopt;
+      s->expr = std::move(*c);
+      if (!expect(Tok::RParen)) return std::nullopt;
+      auto body = parse_block();
+      if (!body) return std::nullopt;
+      s->body = std::move(*body);
+      return s;
+    }
+    if (at(Tok::KwFor)) {
+      take();
+      auto s = std::make_unique<Stmt>();
+      s->kind = StmtKind::For;
+      s->loc = loc;
+      if (!expect(Tok::LParen)) return std::nullopt;
+      if (!at(Tok::Semi)) {
+        auto init = parse_simple(cur().loc);
+        if (!init) return std::nullopt;
+        s->init = std::move(*init);
+      }
+      if (!expect(Tok::Semi)) return std::nullopt;
+      if (!at(Tok::Semi)) {
+        auto c = parse_expr();
+        if (!c) return std::nullopt;
+        s->expr = std::move(*c);
+      }
+      if (!expect(Tok::Semi)) return std::nullopt;
+      if (!at(Tok::RParen)) {
+        auto step = parse_simple(cur().loc);
+        if (!step) return std::nullopt;
+        s->step = std::move(*step);
+      }
+      if (!expect(Tok::RParen)) return std::nullopt;
+      auto body = parse_block();
+      if (!body) return std::nullopt;
+      s->body = std::move(*body);
+      return s;
+    }
+    if (at(Tok::KwReturn)) {
+      take();
+      auto s = std::make_unique<Stmt>();
+      s->kind = StmtKind::Return;
+      s->loc = loc;
+      if (!at(Tok::Semi)) {
+        auto e = parse_expr();
+        if (!e) return std::nullopt;
+        s->expr = std::move(*e);
+      }
+      if (!expect(Tok::Semi)) return std::nullopt;
+      return s;
+    }
+    if (at(Tok::LBrace)) {
+      auto body = parse_block();
+      if (!body) return std::nullopt;
+      auto s = std::make_unique<Stmt>();
+      s->kind = StmtKind::Block;
+      s->loc = loc;
+      s->body = std::move(*body);
+      return s;
+    }
+    auto s = parse_simple(loc);
+    if (!s) return std::nullopt;
+    if (!expect(Tok::Semi)) return std::nullopt;
+    return s;
+  }
+
+  std::optional<StmtPtr> parse_if() {
+    const SourceLoc loc = cur().loc;
+    take();  // if
+    auto s = std::make_unique<Stmt>();
+    s->kind = StmtKind::If;
+    s->loc = loc;
+    if (!expect(Tok::LParen)) return std::nullopt;
+    auto c = parse_expr();
+    if (!c) return std::nullopt;
+    s->expr = std::move(*c);
+    if (!expect(Tok::RParen)) return std::nullopt;
+    auto then = parse_block();
+    if (!then) return std::nullopt;
+    s->body = std::move(*then);
+    if (accept(Tok::KwElse)) {
+      if (at(Tok::KwIf)) {
+        auto nested = parse_if();
+        if (!nested) return std::nullopt;
+        s->else_body.push_back(std::move(*nested));
+      } else {
+        auto eb = parse_block();
+        if (!eb) return std::nullopt;
+        s->else_body = std::move(*eb);
+      }
+    }
+    return s;
+  }
+
+  /// Assignment or expression statement (no trailing ';').
+  std::optional<StmtPtr> parse_simple(SourceLoc loc) {
+    auto lhs = parse_expr();
+    if (!lhs) return std::nullopt;
+    auto s = std::make_unique<Stmt>();
+    s->loc = loc;
+    if (accept(Tok::Assign)) {
+      if ((*lhs)->kind != ExprKind::VarRef &&
+          (*lhs)->kind != ExprKind::Index) {
+        diags_.error(loc, "assignment target must be a variable or index");
+        return std::nullopt;
+      }
+      auto rhs = parse_expr();
+      if (!rhs) return std::nullopt;
+      s->kind = StmtKind::Assign;
+      s->target = std::move(*lhs);
+      s->expr = std::move(*rhs);
+    } else {
+      s->kind = StmtKind::ExprStmt;
+      s->expr = std::move(*lhs);
+    }
+    return s;
+  }
+
+  // --- expressions, precedence climbing --------------------------------
+  std::optional<ExprPtr> parse_expr() { return parse_or(); }
+
+  std::optional<ExprPtr> parse_or() {
+    auto lhs = parse_and();
+    if (!lhs) return std::nullopt;
+    while (at(Tok::OrOr)) {
+      const SourceLoc loc = take().loc;
+      auto rhs = parse_and();
+      if (!rhs) return std::nullopt;
+      lhs = make_binary(Tok::OrOr, loc, std::move(*lhs), std::move(*rhs));
+    }
+    return lhs;
+  }
+
+  std::optional<ExprPtr> parse_and() {
+    auto lhs = parse_cmp();
+    if (!lhs) return std::nullopt;
+    while (at(Tok::AndAnd)) {
+      const SourceLoc loc = take().loc;
+      auto rhs = parse_cmp();
+      if (!rhs) return std::nullopt;
+      lhs = make_binary(Tok::AndAnd, loc, std::move(*lhs), std::move(*rhs));
+    }
+    return lhs;
+  }
+
+  std::optional<ExprPtr> parse_cmp() {
+    auto lhs = parse_add();
+    if (!lhs) return std::nullopt;
+    if (at(Tok::Eq) || at(Tok::Ne) || at(Tok::Lt) || at(Tok::Le) ||
+        at(Tok::Gt) || at(Tok::Ge)) {
+      const Token op = take();
+      auto rhs = parse_add();
+      if (!rhs) return std::nullopt;
+      lhs = make_binary(op.kind, op.loc, std::move(*lhs), std::move(*rhs));
+    }
+    return lhs;
+  }
+
+  std::optional<ExprPtr> parse_add() {
+    auto lhs = parse_mul();
+    if (!lhs) return std::nullopt;
+    while (at(Tok::Plus) || at(Tok::Minus)) {
+      const Token op = take();
+      auto rhs = parse_mul();
+      if (!rhs) return std::nullopt;
+      lhs = make_binary(op.kind, op.loc, std::move(*lhs), std::move(*rhs));
+    }
+    return lhs;
+  }
+
+  std::optional<ExprPtr> parse_mul() {
+    auto lhs = parse_cast();
+    if (!lhs) return std::nullopt;
+    while (at(Tok::Star) || at(Tok::Slash) || at(Tok::Percent)) {
+      const Token op = take();
+      auto rhs = parse_cast();
+      if (!rhs) return std::nullopt;
+      lhs = make_binary(op.kind, op.loc, std::move(*lhs), std::move(*rhs));
+    }
+    return lhs;
+  }
+
+  std::optional<ExprPtr> parse_cast() {
+    auto e = parse_unary();
+    if (!e) return std::nullopt;
+    while (at(Tok::KwAs)) {
+      const SourceLoc loc = take().loc;
+      auto t = parse_type();
+      if (!t) return std::nullopt;
+      auto cast = std::make_unique<Expr>();
+      cast->kind = ExprKind::Cast;
+      cast->loc = loc;
+      cast->lhs = std::move(*e);
+      cast->cast_to = *t;
+      e = std::move(cast);
+    }
+    return e;
+  }
+
+  std::optional<ExprPtr> parse_unary() {
+    if (at(Tok::Minus) || at(Tok::Not)) {
+      const Token op = take();
+      auto operand = parse_unary();
+      if (!operand) return std::nullopt;
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::Unary;
+      e->loc = op.loc;
+      e->op = op.kind;
+      e->lhs = std::move(*operand);
+      return e;
+    }
+    return parse_postfix();
+  }
+
+  std::optional<ExprPtr> parse_postfix() {
+    auto e = parse_primary();
+    if (!e) return std::nullopt;
+    for (;;) {
+      if (accept(Tok::LBracket)) {
+        auto idx = parse_expr();
+        if (!idx) return std::nullopt;
+        if (!expect(Tok::RBracket)) return std::nullopt;
+        auto node = std::make_unique<Expr>();
+        node->kind = ExprKind::Index;
+        node->loc = (*e)->loc;
+        node->lhs = std::move(*e);
+        node->rhs = std::move(*idx);
+        e = std::move(node);
+      } else if (at(Tok::LParen) && (*e)->kind == ExprKind::VarRef) {
+        take();
+        auto node = std::make_unique<Expr>();
+        node->kind = ExprKind::Call;
+        node->loc = (*e)->loc;
+        node->name = (*e)->name;
+        if (!at(Tok::RParen)) {
+          do {
+            auto arg = parse_expr();
+            if (!arg) return std::nullopt;
+            node->args.push_back(std::move(*arg));
+          } while (accept(Tok::Comma));
+        }
+        if (!expect(Tok::RParen)) return std::nullopt;
+        e = std::move(node);
+      } else {
+        break;
+      }
+    }
+    return e;
+  }
+
+  std::optional<ExprPtr> parse_primary() {
+    const SourceLoc loc = cur().loc;
+    if (at(Tok::IntLit)) {
+      const Token t = take();
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::IntLit;
+      e->loc = loc;
+      e->int_value = t.int_value;
+      return e;
+    }
+    if (at(Tok::FloatLit)) {
+      const Token t = take();
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::FloatLit;
+      e->loc = loc;
+      e->float_value = t.float_value;
+      e->float_is_f32 = t.float_is_f32;
+      return e;
+    }
+    if (at(Tok::Ident)) {
+      const Token t = take();
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::VarRef;
+      e->loc = loc;
+      e->name = t.text;
+      return e;
+    }
+    if (accept(Tok::LParen)) {
+      auto e = parse_expr();
+      if (!e) return std::nullopt;
+      if (!expect(Tok::RParen)) return std::nullopt;
+      return e;
+    }
+    diags_.error(loc, "expected expression, found '" +
+                          std::string(tok_name(cur().kind)) + "'");
+    return std::nullopt;
+  }
+
+  ExprPtr make_binary(Tok op, SourceLoc loc, ExprPtr lhs, ExprPtr rhs) {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::Binary;
+    e->loc = loc;
+    e->op = op;
+    e->lhs = std::move(lhs);
+    e->rhs = std::move(rhs);
+    return e;
+  }
+
+  std::vector<Token> tokens_;
+  DiagnosticEngine& diags_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<Program> parse_program(std::string_view source,
+                                     DiagnosticEngine& diags) {
+  std::vector<Token> tokens = lex(source, diags);
+  if (diags.has_errors()) return std::nullopt;
+  return Parser(std::move(tokens), diags).run();
+}
+
+}  // namespace svc

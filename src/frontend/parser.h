@@ -1,0 +1,13 @@
+#pragma once
+
+#include <optional>
+
+#include "frontend/ast.h"
+
+namespace svc {
+
+/// Parses a MiniC program. Returns nullopt (with diagnostics) on error.
+[[nodiscard]] std::optional<Program> parse_program(std::string_view source,
+                                                   DiagnosticEngine& diags);
+
+}  // namespace svc

@@ -1,0 +1,66 @@
+#include "frontend/sema.h"
+
+#include <array>
+
+namespace svc {
+
+std::string MType::str() const {
+  switch (kind) {
+    case Kind::Invalid:
+      return "<invalid>";
+    case Kind::Scalar:
+      return std::string(type_name(scalar));
+    case Kind::Pointer: {
+      std::string s = "*";
+      if (elem_size == 1) return s + "u8";
+      if (elem_size == 2) return s + "u16";
+      s += type_name(elem);
+      return s;
+    }
+  }
+  return "?";
+}
+
+const Builtin* find_builtin(std::string_view name) {
+  static const std::array<Builtin, 8> kBuiltins = {{
+      {"max_s", Opcode::MaxSI32, Type::I32, 2},
+      {"max_u", Opcode::MaxUI32, Type::I32, 2},
+      {"min_s", Opcode::MinSI32, Type::I32, 2},
+      {"min_u", Opcode::MinUI32, Type::I32, 2},
+      {"fmaxf", Opcode::MaxF32, Type::F32, 2},
+      {"fminf", Opcode::MinF32, Type::F32, 2},
+      {"sqrtf", Opcode::SqrtF32, Type::F32, 1},
+      {"fabsf", Opcode::AbsF32, Type::F32, 1},
+  }};
+  for (const Builtin& b : kBuiltins) {
+    if (b.name == name) return &b;
+  }
+  return nullptr;
+}
+
+std::vector<FnSig> collect_signatures(const Program& program) {
+  std::vector<FnSig> sigs;
+  sigs.reserve(program.functions.size());
+  for (const FnDecl& fn : program.functions) {
+    FnSig sig;
+    sig.name = fn.name;
+    for (const Param& p : fn.params) sig.params.push_back(p.type);
+    sig.ret = fn.ret;
+    sigs.push_back(std::move(sig));
+  }
+  return sigs;
+}
+
+Type value_type_of(const MType& t) {
+  switch (t.kind) {
+    case MType::Kind::Scalar:
+      return t.scalar;
+    case MType::Kind::Pointer:
+      return Type::I32;
+    case MType::Kind::Invalid:
+      return Type::Void;
+  }
+  return Type::Void;
+}
+
+}  // namespace svc

@@ -1,0 +1,42 @@
+// Semantic-analysis support for MiniC: type formatting, builtin function
+// signatures (the portable "intrinsics" a kernel language needs: min/max,
+// sqrt, abs), and program-level signature collection for call resolution.
+#pragma once
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "bytecode/opcode.h"
+#include "frontend/ast.h"
+
+namespace svc {
+
+/// A builtin that maps 1:1 onto an SVIL opcode (two- or one-operand).
+struct Builtin {
+  std::string_view name;
+  Opcode op;
+  Type operand;  // operand/result scalar type
+  uint32_t arity;
+};
+
+/// Returns the builtin named `name`, if any (max_s, max_u, min_s, min_u,
+/// fmaxf, fminf, sqrtf, fabsf).
+[[nodiscard]] const Builtin* find_builtin(std::string_view name);
+
+/// Signature of a user function as seen by callers.
+struct FnSig {
+  std::string name;
+  std::vector<MType> params;
+  MType ret;
+};
+
+/// Collects user-function signatures (call resolution is by index into
+/// this vector, matching bytecode function indices after lowering).
+[[nodiscard]] std::vector<FnSig> collect_signatures(const Program& program);
+
+/// SVIL scalar type carried by a MiniC value of type `t` (pointers are
+/// i32 addresses; u8/u16 elements widen to i32 when loaded).
+[[nodiscard]] Type value_type_of(const MType& t);
+
+}  // namespace svc

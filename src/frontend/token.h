@@ -1,0 +1,39 @@
+// Token stream for MiniC, the paper-facing input language: a small, typed
+// C-like kernel language (the role C/C++ play in the paper's toolchain).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "support/diagnostics.h"
+
+namespace svc {
+
+enum class Tok : uint8_t {
+  Eof,
+  Ident,
+  IntLit,
+  FloatLit,
+  // Keywords.
+  KwFn, KwVar, KwIf, KwElse, KwWhile, KwFor, KwReturn, KwAs,
+  // Punctuation / operators.
+  LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+  Semi, Colon, Comma, Arrow,
+  Star, Plus, Minus, Slash, Percent,
+  Assign, Eq, Ne, Lt, Le, Gt, Ge,
+  AndAnd, OrOr, Not,
+};
+
+struct Token {
+  Tok kind = Tok::Eof;
+  std::string text;       // identifier spelling
+  int64_t int_value = 0;  // IntLit
+  double float_value = 0; // FloatLit
+  bool float_is_f32 = false;
+  SourceLoc loc;
+};
+
+[[nodiscard]] std::string_view tok_name(Tok t);
+
+}  // namespace svc

@@ -1,0 +1,134 @@
+#include "ir/dependence.h"
+
+namespace svc {
+namespace {
+
+/// Single def of `v` within the function if it has exactly one.
+const IRInst* single_def(const IRFunction& fn, ValueId v) {
+  const IRInst* found = nullptr;
+  for (const IRBlock& block : fn.blocks()) {
+    for (const IRInst& inst : block.insts) {
+      if (inst.dst == v) {
+        if (found) return nullptr;
+        found = &inst;
+      }
+    }
+  }
+  return found;
+}
+
+bool defined_in_loop(const IRFunction& fn, const Loop& loop, ValueId v) {
+  for (uint32_t b : loop.blocks) {
+    for (const IRInst& inst : fn.block(b).insts) {
+      if (inst.dst == v) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<AccessPattern> decompose_access(const IRFunction& fn,
+                                              const Loop& loop, ValueId addr,
+                                              int64_t imm, uint32_t width,
+                                              bool is_store, ValueId iv) {
+  AccessPattern p;
+  p.offset = imm;
+  p.width = width;
+  p.is_store = is_store;
+
+  // addr must be AddI32(base, scaled) or AddI32(scaled, base).
+  const IRInst* add = single_def(fn, addr);
+  if (!add || add->op != Opcode::AddI32) return std::nullopt;
+
+  // An index expression: iv + displacement (in iterations).
+  struct Index {
+    int64_t disp;
+  };
+  // Matches `side` = iv or iv + c / c + iv (single-def constant c).
+  auto classify_index = [&](ValueId side) -> std::optional<Index> {
+    if (side == iv) return Index{0};
+    const IRInst* def = single_def(fn, side);
+    if (!def || def->op != Opcode::AddI32) return std::nullopt;
+    ValueId other = kNoValue;
+    if (def->s0 == iv) other = def->s1;
+    if (def->s1 == iv) other = def->s0;
+    if (other == kNoValue) return std::nullopt;
+    const IRInst* c = single_def(fn, other);
+    if (c && c->op == Opcode::ConstI32) return Index{c->imm};
+    return std::nullopt;
+  };
+  struct Scaled {
+    int64_t scale;
+    int64_t offset;  // bytes
+  };
+  // Matches `side` = index*k, index<<k or index itself.
+  auto classify = [&](ValueId side) -> std::optional<Scaled> {
+    if (const auto idx = classify_index(side)) {
+      return Scaled{1, idx->disp};
+    }
+    const IRInst* def = single_def(fn, side);
+    if (!def) return std::nullopt;
+    if (def->op == Opcode::MulI32) {
+      for (int flip = 0; flip < 2; ++flip) {
+        const ValueId x = flip ? def->s1 : def->s0;
+        const ValueId kv = flip ? def->s0 : def->s1;
+        const auto idx = classify_index(x);
+        if (!idx) continue;
+        const IRInst* k = single_def(fn, kv);
+        if (k && k->op == Opcode::ConstI32) {
+          return Scaled{k->imm, idx->disp * k->imm};
+        }
+      }
+      return std::nullopt;
+    }
+    if (def->op == Opcode::ShlI32) {
+      const auto idx = classify_index(def->s0);
+      if (!idx) return std::nullopt;
+      const IRInst* k = single_def(fn, def->s1);
+      if (k && k->op == Opcode::ConstI32 && k->imm >= 0 && k->imm < 31) {
+        const int64_t scale = int64_t{1} << k->imm;
+        return Scaled{scale, idx->disp * scale};
+      }
+    }
+    return std::nullopt;
+  };
+
+  // Try (base=s0, scaled=s1) then the mirror.
+  for (int flip = 0; flip < 2; ++flip) {
+    const ValueId base = flip ? add->s1 : add->s0;
+    const ValueId scaled = flip ? add->s0 : add->s1;
+    const auto sc = classify(scaled);
+    if (!sc) continue;
+    // Base must be loop-invariant.
+    if (defined_in_loop(fn, loop, base)) continue;
+    p.base = base;
+    p.scale = sc->scale;
+    p.offset += sc->offset;
+    return p;
+  }
+  return std::nullopt;
+}
+
+bool vectorization_safe(const std::vector<AccessPattern>& accesses,
+                        uint32_t vf) {
+  for (const AccessPattern& a : accesses) {
+    // Unit stride: consecutive iterations touch consecutive elements.
+    if (a.scale != a.width) return false;
+    (void)vf;
+  }
+  // Store/store and store/load conflicts: only identical (base, offset,
+  // width) pairs are permitted -- that is the read-modify-write of the
+  // same element (y[i] = ... y[i] ...), which vectorizes safely.
+  for (const AccessPattern& s : accesses) {
+    if (!s.is_store) continue;
+    for (const AccessPattern& o : accesses) {
+      if (&s == &o) continue;
+      if (o.base != s.base) continue;  // distinct bases assumed no-alias
+      if (o.offset != s.offset || o.width != s.width) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace svc

@@ -1,0 +1,39 @@
+// Dependence test for the vectorizer. The offline compiler can afford a
+// whole-function view; here we implement the classic stride-based test on
+// canonical subscripts (base + i*size), with the documented assumption
+// that *distinct pointer parameters do not alias* (the restrict-style
+// contract the paper's GCC-based vectorizer established with language-
+// level analysis; DESIGN.md S2 records the substitution).
+#pragma once
+
+#include <optional>
+
+#include "ir/induction.h"
+
+namespace svc {
+
+/// A memory access inside a candidate loop, decomposed against the
+/// induction variable: address = base + iv*scale (+ static offset).
+struct AccessPattern {
+  ValueId base = kNoValue;  // loop-invariant base value
+  int64_t scale = 0;        // bytes per induction step
+  int64_t offset = 0;       // static byte offset (from load/store imm)
+  uint32_t width = 0;       // access width in bytes
+  bool is_store = false;
+};
+
+/// Decomposes the address value `addr` (+`imm` offset) of a `width`-byte
+/// access against induction variable `iv`. Returns nullopt for addresses
+/// that are not of the canonical base + iv*scale shape.
+[[nodiscard]] std::optional<AccessPattern> decompose_access(
+    const IRFunction& fn, const Loop& loop, ValueId addr, int64_t imm,
+    uint32_t width, bool is_store, ValueId iv);
+
+/// True when vectorizing the loop with factor `vf` preserves all
+/// dependences among `accesses`: unit-stride contiguity per access and no
+/// cross-iteration store conflicts (same-base same-offset read-then-write
+/// is allowed; distinct bases are assumed not to alias).
+[[nodiscard]] bool vectorization_safe(const std::vector<AccessPattern>& accesses,
+                                      uint32_t vf);
+
+}  // namespace svc

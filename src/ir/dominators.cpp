@@ -1,0 +1,86 @@
+#include "ir/dominators.h"
+
+#include <algorithm>
+
+namespace svc {
+
+std::vector<std::vector<uint32_t>> predecessors(const IRFunction& fn) {
+  std::vector<std::vector<uint32_t>> preds(fn.num_blocks());
+  for (uint32_t b = 0; b < fn.num_blocks(); ++b) {
+    for (uint32_t s : fn.successors(b)) preds[s].push_back(b);
+  }
+  return preds;
+}
+
+Dominators::Dominators(const IRFunction& fn) {
+  const size_t n = fn.num_blocks();
+  idom_.assign(n, UINT32_MAX);
+  reachable_.assign(n, false);
+
+  // Reverse postorder over the reachable subgraph.
+  std::vector<uint32_t> order;
+  std::vector<uint8_t> state(n, 0);
+  std::vector<uint32_t> stack = {0};
+  // Iterative DFS computing postorder.
+  std::vector<std::pair<uint32_t, size_t>> dfs;
+  dfs.emplace_back(0, 0);
+  state[0] = 1;
+  while (!dfs.empty()) {
+    auto& [b, i] = dfs.back();
+    const auto succs = fn.successors(b);
+    if (i < succs.size()) {
+      const uint32_t s = succs[i++];
+      if (!state[s]) {
+        state[s] = 1;
+        dfs.emplace_back(s, 0);
+      }
+    } else {
+      order.push_back(b);
+      dfs.pop_back();
+    }
+  }
+  std::reverse(order.begin(), order.end());  // now RPO
+  std::vector<uint32_t> rpo_index(n, UINT32_MAX);
+  for (uint32_t i = 0; i < order.size(); ++i) rpo_index[order[i]] = i;
+  for (uint32_t b : order) reachable_[b] = true;
+
+  const auto preds = predecessors(fn);
+  idom_[0] = 0;
+  bool changed = true;
+  auto intersect = [&](uint32_t a, uint32_t b) {
+    while (a != b) {
+      while (rpo_index[a] > rpo_index[b]) a = idom_[a];
+      while (rpo_index[b] > rpo_index[a]) b = idom_[b];
+    }
+    return a;
+  };
+  while (changed) {
+    changed = false;
+    for (uint32_t b : order) {
+      if (b == 0) continue;
+      uint32_t new_idom = UINT32_MAX;
+      for (uint32_t p : preds[b]) {
+        if (!reachable_[p] || idom_[p] == UINT32_MAX) continue;
+        new_idom = new_idom == UINT32_MAX ? p : intersect(new_idom, p);
+      }
+      if (new_idom != UINT32_MAX && idom_[b] != new_idom) {
+        idom_[b] = new_idom;
+        changed = true;
+      }
+    }
+  }
+}
+
+bool Dominators::dominates(uint32_t a, uint32_t b) const {
+  if (!reachable_[b]) return false;
+  uint32_t cur = b;
+  for (;;) {
+    if (cur == a) return true;
+    if (cur == 0) return a == 0;
+    const uint32_t next = idom_[cur];
+    if (next == cur) return a == cur;
+    cur = next;
+  }
+}
+
+}  // namespace svc

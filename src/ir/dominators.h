@@ -1,0 +1,31 @@
+// Iterative dominator analysis (Cooper-Harvey-Kennedy style simplified)
+// over the IR CFG. Consumed by natural-loop detection.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/ir.h"
+
+namespace svc {
+
+class Dominators {
+ public:
+  explicit Dominators(const IRFunction& fn);
+
+  /// Immediate dominator of `b` (entry's idom is itself).
+  [[nodiscard]] uint32_t idom(uint32_t b) const { return idom_[b]; }
+  /// True when `a` dominates `b` (reflexive).
+  [[nodiscard]] bool dominates(uint32_t a, uint32_t b) const;
+  [[nodiscard]] bool reachable(uint32_t b) const { return reachable_[b]; }
+
+ private:
+  std::vector<uint32_t> idom_;
+  std::vector<bool> reachable_;
+};
+
+/// Predecessor lists for every block.
+[[nodiscard]] std::vector<std::vector<uint32_t>> predecessors(
+    const IRFunction& fn);
+
+}  // namespace svc

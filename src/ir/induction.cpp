@@ -1,0 +1,75 @@
+#include "ir/induction.h"
+
+#include <map>
+
+namespace svc {
+namespace {
+
+/// Constant value of `v` if it has exactly one def and that def is a
+/// ConstI32 anywhere in the function.
+std::optional<int64_t> const_value(const IRFunction& fn, ValueId v,
+                                   const std::vector<uint32_t>& defs) {
+  if (v == kNoValue || defs[v] != 1) return std::nullopt;
+  for (const IRBlock& block : fn.blocks()) {
+    for (const IRInst& inst : block.insts) {
+      if (inst.dst == v) {
+        if (inst.op == Opcode::ConstI32) return inst.imm;
+        return std::nullopt;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<InductionVar> find_induction(const IRFunction& fn,
+                                           const Loop& loop) {
+  const std::vector<uint32_t> defs = fn.def_counts();
+
+  // Count in-loop defs per value and remember add-shaped updates.
+  std::map<ValueId, uint32_t> in_loop_defs;
+  std::map<ValueId, InductionVar> candidates;
+  for (uint32_t b : loop.blocks) {
+    const IRBlock& block = fn.block(b);
+    for (size_t i = 0; i < block.insts.size(); ++i) {
+      const IRInst& inst = block.insts[i];
+      if (inst.dst == kNoValue) continue;
+      in_loop_defs[inst.dst] += 1;
+      if (inst.op != Opcode::AddI32) continue;
+      ValueId other = kNoValue;
+      if (inst.s0 == inst.dst) other = inst.s1;
+      if (inst.s1 == inst.dst) other = inst.s0;
+      if (other == kNoValue) continue;
+      const auto step = const_value(fn, other, defs);
+      if (!step) continue;
+      InductionVar iv;
+      iv.var = inst.dst;
+      iv.step = *step;
+      iv.update_block = b;
+      iv.update_index = i;
+      candidates[inst.dst] = iv;
+    }
+  }
+
+  // The induction variable must be updated exactly once in the loop and
+  // drive the header's exit comparison.
+  const IRBlock& header = fn.block(loop.header);
+  if (header.insts.empty()) return std::nullopt;
+  const IRInst& term = header.terminator();
+  if (term.op != Opcode::BranchIf) return std::nullopt;
+
+  for (auto& [var, iv] : candidates) {
+    if (in_loop_defs[var] != 1) continue;
+    // Find the comparison feeding the branch and check it reads `var`.
+    for (const IRInst& inst : header.insts) {
+      if (inst.dst == term.s0 &&
+          (inst.s0 == var || inst.s1 == var)) {
+        return iv;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace svc

@@ -1,0 +1,25 @@
+// Basic induction-variable recognition for canonical loops: a value with
+// exactly one in-loop definition of the form i = i + <const>.
+#pragma once
+
+#include <optional>
+
+#include "ir/loop_info.h"
+
+namespace svc {
+
+struct InductionVar {
+  ValueId var = kNoValue;
+  int64_t step = 0;
+  uint32_t update_block = 0;  // block holding the increment
+  size_t update_index = 0;    // instruction index within that block
+};
+
+/// Finds the basic induction variable of `loop` in `fn`: the value with a
+/// single in-loop def `var = AddI32(var, c)` / `AddI32(c, var)` with c a
+/// single-def constant. Returns nullopt when there is no unique candidate
+/// driving the header's exit comparison.
+[[nodiscard]] std::optional<InductionVar> find_induction(const IRFunction& fn,
+                                                         const Loop& loop);
+
+}  // namespace svc

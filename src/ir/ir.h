@@ -1,0 +1,144 @@
+// The offline compiler's mid-level IR: a register-based, three-address CFG
+// (not SSA -- values may be redefined, e.g. induction variables), typed by
+// a per-value table. Opcodes reuse the SVIL enumeration for all shared
+// semantics, so lowering to stack bytecode is mechanical.
+//
+// This is where the expensive offline work of split compilation happens:
+// simplification, if-conversion and, centrally, automatic vectorization.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bytecode/opcode.h"
+#include "bytecode/type.h"
+
+namespace svc {
+
+/// IR value id. Values [0, num_params) are the function parameters.
+using ValueId = uint32_t;
+inline constexpr ValueId kNoValue = 0xffffffffu;
+
+struct IRInst {
+  Opcode op = Opcode::Nop;
+  ValueId dst = kNoValue;
+  ValueId s0 = kNoValue, s1 = kNoValue, s2 = kNoValue;
+  int64_t imm = 0;  // constant bits / memory offset
+  uint32_t a = 0;   // block target 0 / callee / lane
+  uint32_t b = 0;   // block target 1
+
+  [[nodiscard]] bool is_terminator() const { return svc::is_terminator(op); }
+};
+
+struct IRBlock {
+  std::vector<IRInst> insts;
+  [[nodiscard]] const IRInst& terminator() const { return insts.back(); }
+};
+
+class IRFunction {
+ public:
+  IRFunction(std::string name, std::vector<Type> param_types, Type ret);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] Type ret_type() const { return ret_; }
+  [[nodiscard]] uint32_t num_params() const { return num_params_; }
+
+  ValueId new_value(Type t) {
+    value_types_.push_back(t);
+    return static_cast<ValueId>(value_types_.size() - 1);
+  }
+  [[nodiscard]] Type value_type(ValueId v) const { return value_types_[v]; }
+  [[nodiscard]] size_t num_values() const { return value_types_.size(); }
+
+  uint32_t add_block() {
+    blocks_.emplace_back();
+    return static_cast<uint32_t>(blocks_.size() - 1);
+  }
+  [[nodiscard]] IRBlock& block(uint32_t b) { return blocks_[b]; }
+  [[nodiscard]] const IRBlock& block(uint32_t b) const { return blocks_[b]; }
+  [[nodiscard]] size_t num_blocks() const { return blocks_.size(); }
+  [[nodiscard]] std::vector<IRBlock>& blocks() { return blocks_; }
+  [[nodiscard]] const std::vector<IRBlock>& blocks() const { return blocks_; }
+
+  /// Successor block ids of `b`'s terminator.
+  [[nodiscard]] std::vector<uint32_t> successors(uint32_t b) const;
+
+  /// Number of defining instructions per value (parameters count as one
+  /// implicit def). Recomputed on demand by passes.
+  [[nodiscard]] std::vector<uint32_t> def_counts() const;
+
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::string name_;
+  Type ret_;
+  uint32_t num_params_;
+  std::vector<Type> value_types_;
+  std::vector<IRBlock> blocks_;
+};
+
+/// IR-only register copy: Opcode::Nop with a destination means `dst <- s0`.
+/// The stack bytecode needs no copy opcode (lowering expands copies to
+/// local.get / local.set), so Nop is reused rather than widening the ISA.
+[[nodiscard]] inline IRInst ir_copy(ValueId dst, ValueId src) {
+  return {Opcode::Nop, dst, src, kNoValue, kNoValue, 0, 0, 0};
+}
+[[nodiscard]] inline bool is_ir_copy(const IRInst& inst) {
+  return inst.op == Opcode::Nop && inst.dst != kNoValue;
+}
+
+/// Convenience emitters used by irgen and the vectorizer.
+struct IRBuilder {
+  IRFunction& fn;
+  uint32_t block;
+
+  void emit(IRInst inst) { fn.block(block).insts.push_back(inst); }
+
+  ValueId const_i32(int32_t v) {
+    const ValueId dst = fn.new_value(Type::I32);
+    emit({Opcode::ConstI32, dst, kNoValue, kNoValue, kNoValue, v, 0, 0});
+    return dst;
+  }
+  ValueId const_f32(float v) {
+    const ValueId dst = fn.new_value(Type::F32);
+    emit({Opcode::ConstF32, dst, kNoValue, kNoValue, kNoValue,
+          static_cast<int64_t>(std::bit_cast<uint32_t>(v)), 0, 0});
+    return dst;
+  }
+  ValueId unop(Opcode op, Type t, ValueId a) {
+    const ValueId dst = fn.new_value(t);
+    emit({op, dst, a, kNoValue, kNoValue, 0, 0, 0});
+    return dst;
+  }
+  ValueId binop(Opcode op, Type t, ValueId a, ValueId b) {
+    const ValueId dst = fn.new_value(t);
+    emit({op, dst, a, b, kNoValue, 0, 0, 0});
+    return dst;
+  }
+  /// Re-defines an existing value (non-SSA assignment).
+  void assign_binop(Opcode op, ValueId dst, ValueId a, ValueId b) {
+    emit({op, dst, a, b, kNoValue, 0, 0, 0});
+  }
+  ValueId load(Opcode op, ValueId addr, int64_t offset, Type t) {
+    const ValueId dst = fn.new_value(t);
+    emit({op, dst, addr, kNoValue, kNoValue, offset, 0, 0});
+    return dst;
+  }
+  void store(Opcode op, ValueId addr, ValueId value, int64_t offset) {
+    emit({op, kNoValue, addr, value, kNoValue, offset, 0, 0});
+  }
+  void jump(uint32_t target) {
+    emit({Opcode::Jump, kNoValue, kNoValue, kNoValue, kNoValue, 0, target, 0});
+  }
+  void br_if(ValueId cond, uint32_t taken, uint32_t fallthrough) {
+    emit({Opcode::BranchIf, kNoValue, cond, kNoValue, kNoValue, 0, taken,
+          fallthrough});
+  }
+  void ret(ValueId v = kNoValue) {
+    emit({Opcode::Ret, kNoValue, v, kNoValue, kNoValue, 0, 0, 0});
+  }
+};
+
+}  // namespace svc

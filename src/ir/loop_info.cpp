@@ -1,0 +1,48 @@
+#include "ir/loop_info.h"
+
+#include <algorithm>
+
+namespace svc {
+
+std::vector<Loop> find_loops(const IRFunction& fn) {
+  const Dominators dom(fn);
+  const auto preds = predecessors(fn);
+  std::vector<Loop> loops;
+
+  for (uint32_t b = 0; b < fn.num_blocks(); ++b) {
+    if (!dom.reachable(b)) continue;
+    for (uint32_t s : fn.successors(b)) {
+      if (!dom.dominates(s, b)) continue;  // not a back edge
+      // Natural loop of back edge b -> s: s plus all blocks reaching b
+      // without passing through s.
+      Loop* loop = nullptr;
+      for (Loop& l : loops) {
+        if (l.header == s) {
+          loop = &l;
+          break;
+        }
+      }
+      if (!loop) {
+        loops.emplace_back();
+        loop = &loops.back();
+        loop->header = s;
+        loop->blocks.insert(s);
+      }
+      loop->latches.push_back(b);
+      std::vector<uint32_t> work = {b};
+      while (!work.empty()) {
+        const uint32_t x = work.back();
+        work.pop_back();
+        if (loop->blocks.insert(x).second) {
+          for (uint32_t p : preds[x]) work.push_back(p);
+        }
+      }
+    }
+  }
+  std::sort(loops.begin(), loops.end(), [](const Loop& a, const Loop& b) {
+    return a.blocks.size() < b.blocks.size();
+  });
+  return loops;
+}
+
+}  // namespace svc

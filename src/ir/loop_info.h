@@ -1,0 +1,25 @@
+// Natural-loop detection from back edges (target dominates source).
+// The vectorizer only transforms the canonical single-body-block loops the
+// MiniC frontend emits, but the analysis is general.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "ir/dominators.h"
+
+namespace svc {
+
+struct Loop {
+  uint32_t header = 0;
+  std::set<uint32_t> blocks;  // includes header
+  std::vector<uint32_t> latches;  // sources of back edges
+
+  [[nodiscard]] bool contains(uint32_t b) const { return blocks.count(b); }
+};
+
+/// All natural loops, innermost-first (by block count ascending).
+[[nodiscard]] std::vector<Loop> find_loops(const IRFunction& fn);
+
+}  // namespace svc

@@ -1,0 +1,71 @@
+#include "ir/lower_bytecode.h"
+
+#include "support/diagnostics.h"
+
+namespace svc {
+
+Function lower_to_bytecode(const IRFunction& ir) {
+  FunctionSig sig;
+  for (uint32_t p = 0; p < ir.num_params(); ++p) {
+    sig.params.push_back(ir.value_type(p));
+  }
+  sig.ret = ir.ret_type();
+  Function fn(ir.name(), sig);
+
+  // Locals mirror IR values 1:1 (parameters first, by construction).
+  for (uint32_t v = ir.num_params(); v < ir.num_values(); ++v) {
+    fn.add_local(ir.value_type(v));
+  }
+
+  for (uint32_t b = 0; b < ir.num_blocks(); ++b) {
+    const uint32_t bb = fn.add_block();
+    for (const IRInst& inst : ir.block(b).insts) {
+      // IR-only copy.
+      if (is_ir_copy(inst)) {
+        fn.append(bb, Instruction::with_a(Opcode::LocalGet, inst.s0));
+        fn.append(bb, Instruction::with_a(Opcode::LocalSet, inst.dst));
+        continue;
+      }
+      switch (inst.op) {
+        case Opcode::Jump:
+          fn.append(bb, Instruction::with_a(Opcode::Jump, inst.a));
+          continue;
+        case Opcode::BranchIf:
+          fn.append(bb, Instruction::with_a(Opcode::LocalGet, inst.s0));
+          fn.append(bb, {Opcode::BranchIf, inst.a, inst.b, 0});
+          continue;
+        case Opcode::Ret:
+          if (inst.s0 != kNoValue) {
+            fn.append(bb, Instruction::with_a(Opcode::LocalGet, inst.s0));
+          }
+          fn.append(bb, Instruction::make(Opcode::Ret));
+          continue;
+        case Opcode::Trap:
+          fn.append(bb, Instruction::make(Opcode::Trap));
+          continue;
+        case Opcode::Nop:
+          continue;
+        default:
+          break;
+      }
+      // Generic: push sources in order, emit the op, pop the result.
+      for (ValueId s : {inst.s0, inst.s1, inst.s2}) {
+        if (s != kNoValue) {
+          fn.append(bb, Instruction::with_a(Opcode::LocalGet, s));
+        }
+      }
+      Instruction out;
+      out.op = inst.op;
+      out.a = inst.a;
+      out.b = inst.b;
+      out.imm = inst.imm;
+      fn.append(bb, out);
+      if (inst.dst != kNoValue) {
+        fn.append(bb, Instruction::with_a(Opcode::LocalSet, inst.dst));
+      }
+    }
+  }
+  return fn;
+}
+
+}  // namespace svc

@@ -1,0 +1,15 @@
+// IR -> SVIL lowering: each IR value becomes a bytecode local; each IR
+// instruction becomes push-operands / op / pop-result. The result always
+// satisfies the SVIL structural rule (empty stack at block boundaries).
+// This is the final offline step before annotations are attached and the
+// module is serialized for deployment.
+#pragma once
+
+#include "bytecode/function.h"
+#include "ir/ir.h"
+
+namespace svc {
+
+[[nodiscard]] Function lower_to_bytecode(const IRFunction& fn);
+
+}  // namespace svc

@@ -1,0 +1,28 @@
+// Classic offline scalar optimizations: constant folding, algebraic
+// simplification / strength reduction, dead-code elimination, and
+// if-conversion (branchy diamonds/triangles to selects). These run before
+// the vectorizer and double as the knob space of the iterative-compilation
+// driver (paper S4).
+#pragma once
+
+#include "ir/ir.h"
+
+namespace svc {
+
+struct PassOptions {
+  bool fold_constants = true;
+  bool simplify = true;       // algebraic identities + mul->shift
+  bool dce = true;
+  bool if_convert = false;    // triangles to selects (ablation knob)
+};
+
+struct PassStats {
+  uint32_t folded = 0;
+  uint32_t simplified = 0;
+  uint32_t dce_removed = 0;
+  uint32_t if_converted = 0;
+};
+
+PassStats run_passes(IRFunction& fn, const PassOptions& options);
+
+}  // namespace svc

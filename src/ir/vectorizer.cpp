@@ -1,0 +1,699 @@
+#include "ir/vectorizer.h"
+
+#include <map>
+#include <optional>
+#include <set>
+
+#include "ir/dependence.h"
+#include "ir/induction.h"
+#include "ir/loop_info.h"
+
+namespace svc {
+namespace {
+
+LaneKind lane_kind_of_load(const IRInst& load) {
+  switch (load.op) {
+    case Opcode::LoadI8U: return LaneKind::U8x16;
+    case Opcode::LoadI16U: return LaneKind::U16x8;
+    case Opcode::LoadI32: return LaneKind::I32x4;
+    case Opcode::LoadF32: return LaneKind::F32x4;
+    default: return LaneKind::None;
+  }
+}
+
+/// Vector opcode implementing elementwise `op` on `lk` lanes, or Nop.
+Opcode vector_op_for(Opcode op, LaneKind lk) {
+  switch (lk) {
+    case LaneKind::F32x4:
+      switch (op) {
+        case Opcode::AddF32: return Opcode::VAddF32;
+        case Opcode::SubF32: return Opcode::VSubF32;
+        case Opcode::MulF32: return Opcode::VMulF32;
+        case Opcode::DivF32: return Opcode::VDivF32;
+        case Opcode::MinF32: return Opcode::VMinF32;
+        case Opcode::MaxF32: return Opcode::VMaxF32;
+        default: return Opcode::Nop;
+      }
+    case LaneKind::I32x4:
+      switch (op) {
+        case Opcode::AddI32: return Opcode::VAddI32;
+        case Opcode::SubI32: return Opcode::VSubI32;
+        case Opcode::MulI32: return Opcode::VMulI32;
+        case Opcode::MaxSI32: return Opcode::VMaxSI32;
+        case Opcode::MinSI32: return Opcode::VMinSI32;
+        default: return Opcode::Nop;
+      }
+    case LaneKind::U8x16:
+      // Lanes are zero-extended bytes; min/max are range-exact, so both
+      // signed and unsigned scalar forms map to the unsigned lane op.
+      switch (op) {
+        case Opcode::MaxUI32:
+        case Opcode::MaxSI32: return Opcode::VMaxU8;
+        case Opcode::MinUI32:
+        case Opcode::MinSI32: return Opcode::VMinU8;
+        default: return Opcode::Nop;
+      }
+    case LaneKind::U16x8:
+      switch (op) {
+        case Opcode::MaxUI32:
+        case Opcode::MaxSI32: return Opcode::VMaxU16;
+        case Opcode::MinUI32:
+        case Opcode::MinSI32: return Opcode::VMinU16;
+        default: return Opcode::Nop;
+      }
+    default:
+      return Opcode::Nop;
+  }
+}
+
+Opcode splat_op_for(LaneKind lk) {
+  switch (lk) {
+    case LaneKind::U8x16: return Opcode::VSplatI8;
+    case LaneKind::U16x8: return Opcode::VSplatI16;
+    case LaneKind::I32x4: return Opcode::VSplatI32;
+    case LaneKind::F32x4: return Opcode::VSplatF32;
+    default: return Opcode::Nop;
+  }
+}
+
+struct Reduction {
+  ValueId var = kNoValue;   // the scalar reduction variable
+  Opcode scalar_op = Opcode::Nop;
+  ValueId elem = kNoValue;  // elementwise operand
+  size_t update_index = 0;  // index of `var = op(var, elem)` in body
+  bool widening = false;    // u8/u16 add: in-loop rsum into scalar acc
+  ValueId vacc = kNoValue;  // vector accumulator (when !widening)
+};
+
+enum class InstClass : uint8_t {
+  Address,    // copied verbatim into the vector body
+  ElemLoad,   // -> load.v128
+  ElemArith,  // -> vector op
+  Store,      // -> store.v128
+  IvUpdate,   // -> i += VF
+  RedUpdate,  // reduction update
+  Terminator,
+};
+
+class LoopVectorizer {
+ public:
+  LoopVectorizer(IRFunction& fn, const Loop& loop, VectorizeStats& stats)
+      : fn_(fn), loop_(loop), stats_(stats) {}
+
+  bool run() {
+    if (!analyze()) return false;
+    transform();
+    return true;
+  }
+
+ private:
+  // ------------------------------------------------------------------ //
+  bool analyze() {
+    // Shape: single body block, header with [cmp; br_if].
+    if (loop_.blocks.size() != 2 || loop_.latches.size() != 1) return false;
+    header_ = loop_.header;
+    body_ = loop_.latches[0];
+    if (!loop_.contains(body_) || body_ == header_) return false;
+
+    const IRBlock& H = fn_.block(header_);
+    if (H.insts.size() != 2) return false;
+    const IRInst& cmp = H.insts[0];
+    const IRInst& term = H.insts[1];
+    if (term.op != Opcode::BranchIf || cmp.op != Opcode::LtSI32) return false;
+    if (term.s0 != cmp.dst) return false;
+    if (term.a != body_) return false;
+    exit_ = term.b;
+    if (loop_.contains(exit_)) return false;
+
+    const IRBlock& B = fn_.block(body_);
+    if (B.insts.empty() || B.terminator().op != Opcode::Jump ||
+        B.terminator().a != header_) {
+      return false;
+    }
+
+    // Induction variable with step 1, driving the comparison.
+    const auto iv = find_induction(fn_, loop_);
+    if (!iv || iv->step != 1 || iv->update_block != body_) return false;
+    iv_ = *iv;
+    if (cmp.s0 != iv_.var) return false;
+    bound_ = cmp.s1;
+    if (defined_in(loop_, bound_)) return false;
+
+    // Exactly two predecessors of the header: one preheader, one latch.
+    preheader_ = UINT32_MAX;
+    for (uint32_t b = 0; b < fn_.num_blocks(); ++b) {
+      for (uint32_t s : fn_.successors(b)) {
+        if (s != header_ || b == body_) continue;
+        if (preheader_ != UINT32_MAX) return false;
+        preheader_ = b;
+      }
+    }
+    if (preheader_ == UINT32_MAX) return false;
+
+    return classify_body();
+  }
+
+  bool defined_in(const Loop& loop, ValueId v) const {
+    if (v == kNoValue) return false;
+    for (uint32_t b : loop.blocks) {
+      for (const IRInst& inst : fn_.block(b).insts) {
+        if (inst.dst == v) return true;
+      }
+    }
+    return false;
+  }
+
+  bool used_outside_loop(ValueId v) const {
+    for (uint32_t b = 0; b < fn_.num_blocks(); ++b) {
+      if (loop_.contains(b)) continue;
+      for (const IRInst& inst : fn_.block(b).insts) {
+        if (inst.s0 == v || inst.s1 == v || inst.s2 == v) return true;
+      }
+    }
+    return false;
+  }
+
+  bool classify_body() {
+    const IRBlock& B = fn_.block(body_);
+    const size_t n = B.insts.size();
+    classes_.assign(n, InstClass::Address);
+
+    // 1. Address set: values reaching load/store address operands.
+    std::set<ValueId> addr_values;
+    for (const IRInst& inst : B.insts) {
+      const OpCategory cat = op_info(inst.op).category;
+      if (cat == OpCategory::Load || cat == OpCategory::Store) {
+        addr_values.insert(inst.s0);
+      }
+    }
+    // Transitive closure through in-body defs.
+    bool grew = true;
+    while (grew) {
+      grew = false;
+      for (const IRInst& inst : B.insts) {
+        if (inst.dst == kNoValue || !addr_values.count(inst.dst)) continue;
+        for (ValueId s : {inst.s0, inst.s1, inst.s2}) {
+          if (s != kNoValue && s != iv_.var && defined_in(loop_, s)) {
+            grew |= addr_values.insert(s).second;
+          }
+        }
+      }
+    }
+
+    // 2. Reductions (post-coalescing shape): `r = redop(r, e)`.
+    std::set<size_t> red_indices;
+    for (size_t i = 0; i < n; ++i) {
+      const IRInst& inst = B.insts[i];
+      if (inst.dst == kNoValue || inst.dst == iv_.var) continue;
+      ValueId elem = kNoValue;
+      if (inst.s0 == inst.dst) elem = inst.s1;
+      if (inst.s1 == inst.dst) elem = inst.s0;
+      if (elem == kNoValue) continue;
+      switch (inst.op) {
+        case Opcode::AddI32:
+        case Opcode::AddF32:
+        case Opcode::MaxUI32:
+        case Opcode::MaxSI32:
+        case Opcode::MinUI32:
+        case Opcode::MinSI32:
+        case Opcode::MaxF32:
+        case Opcode::MinF32:
+          break;
+        default:
+          continue;
+      }
+      Reduction red;
+      red.var = inst.dst;
+      red.scalar_op = inst.op;
+      red.elem = elem;
+      red.update_index = i;
+      reductions_.push_back(red);
+      red_indices.insert(i);
+    }
+    // Each reduction var: exactly one in-loop def and one in-loop use
+    // (both in the update itself).
+    for (const Reduction& red : reductions_) {
+      uint32_t defs = 0, uses_r = 0;
+      for (size_t i = 0; i < n; ++i) {
+        const IRInst& inst = B.insts[i];
+        if (inst.dst == red.var) ++defs;
+        for (ValueId s : {inst.s0, inst.s1, inst.s2}) {
+          if (s == red.var) ++uses_r;
+        }
+      }
+      if (defs != 1 || uses_r != 1) return false;
+    }
+
+    // 3. Memory accesses: decompose and collect lane kinds.
+    LaneKind lk = LaneKind::None;
+    for (size_t i = 0; i < n; ++i) {
+      const IRInst& inst = B.insts[i];
+      const OpCategory cat = op_info(inst.op).category;
+      if (cat == OpCategory::Load) {
+        const LaneKind this_lk = lane_kind_of_load(inst);
+        if (this_lk == LaneKind::None) return false;
+        if (lk != LaneKind::None && lk != this_lk) return false;
+        lk = this_lk;
+        const auto acc = decompose_access(fn_, loop_, inst.s0, inst.imm,
+                                          op_info(inst.op).mem_bytes, false,
+                                          iv_.var);
+        if (!acc) return false;
+        accesses_.push_back(*acc);
+        classes_[i] = InstClass::ElemLoad;
+        elem_values_.insert(inst.dst);
+      } else if (cat == OpCategory::Store) {
+        const auto acc = decompose_access(fn_, loop_, inst.s0, inst.imm,
+                                          op_info(inst.op).mem_bytes, true,
+                                          iv_.var);
+        if (!acc) return false;
+        accesses_.push_back(*acc);
+        classes_[i] = InstClass::Store;
+      }
+    }
+    if (lk == LaneKind::None) return false;  // no data loads
+    lane_kind_ = lk;
+    vf_ = lane_count(lk);
+
+    // 4. Classify the rest.
+    for (size_t i = 0; i < n; ++i) {
+      if (classes_[i] == InstClass::ElemLoad ||
+          classes_[i] == InstClass::Store) {
+        continue;
+      }
+      const IRInst& inst = B.insts[i];
+      if (i + 1 == n) {
+        classes_[i] = InstClass::Terminator;
+        continue;
+      }
+      if (body_ == iv_.update_block && i == iv_.update_index) {
+        classes_[i] = InstClass::IvUpdate;
+        continue;
+      }
+      if (red_indices.count(i)) {
+        classes_[i] = InstClass::RedUpdate;
+        continue;
+      }
+      if (inst.dst != kNoValue && addr_values.count(inst.dst)) {
+        // Pure integer address arithmetic only.
+        switch (inst.op) {
+          case Opcode::AddI32:
+          case Opcode::SubI32:
+          case Opcode::MulI32:
+          case Opcode::ShlI32:
+          case Opcode::ConstI32:
+            classes_[i] = InstClass::Address;
+            continue;
+          default:
+            return false;
+        }
+      }
+      // In-body constants (loop-step constants, splat sources) are
+      // copied verbatim; splat collection handles the ones feeding
+      // elementwise ops.
+      if (inst.op == Opcode::ConstI32 || inst.op == Opcode::ConstF32) {
+        classes_[i] = InstClass::Address;
+        continue;
+      }
+      // Elementwise arithmetic.
+      if (inst.dst == kNoValue) return false;
+      const Opcode vop = vector_op_for(inst.op, lane_kind_);
+      if (vop == Opcode::Nop) return false;
+      // Operands: elementwise, invariant, or in-body const; never iv.
+      for (ValueId s : {inst.s0, inst.s1}) {
+        if (s == kNoValue) continue;
+        if (s == iv_.var) return false;
+        if (elem_values_.count(s)) continue;
+        if (!defined_in(loop_, s)) continue;          // invariant
+        if (in_body_const(s)) continue;               // splattable const
+        return false;
+      }
+      classes_[i] = InstClass::ElemArith;
+      elem_values_.insert(inst.dst);
+    }
+
+    // 5. Reduction operands must be elementwise; pick strategies.
+    for (Reduction& red : reductions_) {
+      if (!elem_values_.count(red.elem)) return false;
+      const bool is_add =
+          red.scalar_op == Opcode::AddI32 || red.scalar_op == Opcode::AddF32;
+      const bool narrow =
+          lane_kind_ == LaneKind::U8x16 || lane_kind_ == LaneKind::U16x8;
+      if (is_add && narrow) {
+        // Widening sum: elem must be a raw load (no narrow arithmetic).
+        red.widening = true;
+        bool is_load = false;
+        const IRBlock& B2 = fn_.block(body_);
+        for (size_t i = 0; i < B2.insts.size(); ++i) {
+          if (B2.insts[i].dst == red.elem &&
+              classes_[i] == InstClass::ElemLoad) {
+            is_load = true;
+          }
+        }
+        if (!is_load) return false;
+        if (red.scalar_op != Opcode::AddI32) return false;
+      } else if (is_add) {
+        red.widening = false;  // vector accumulator seeded with zero
+      } else {
+        // min/max accumulator: for narrow lanes the incoming value must
+        // provably fit the lane range (all out-of-loop defs are in-range
+        // constants).
+        red.widening = false;
+        if (narrow && !narrow_safe_init(red.var)) return false;
+      }
+    }
+
+    // 6. Narrow lanes restrict elementwise arithmetic to min/max.
+    if (lane_kind_ == LaneKind::U8x16 || lane_kind_ == LaneKind::U16x8) {
+      const IRBlock& B2 = fn_.block(body_);
+      for (size_t i = 0; i < B2.insts.size(); ++i) {
+        if (classes_[i] != InstClass::ElemArith) continue;
+        switch (B2.insts[i].op) {
+          case Opcode::MaxUI32:
+          case Opcode::MaxSI32:
+          case Opcode::MinUI32:
+          case Opcode::MinSI32:
+            break;
+          default:
+            return false;
+        }
+      }
+    }
+
+    // 7. Unit-stride + no cross-iteration conflicts.
+    if (!vectorization_safe(accesses_, vf_)) return false;
+
+    // 8. No memory access after the induction update.
+    {
+      const IRBlock& B2 = fn_.block(body_);
+      for (size_t i = iv_.update_index + 1; i < B2.insts.size(); ++i) {
+        if (classes_[i] == InstClass::ElemLoad ||
+            classes_[i] == InstClass::Store ||
+            classes_[i] == InstClass::Address) {
+          return false;
+        }
+      }
+    }
+
+    // 9. Body temporaries must not escape the loop (the scalar epilogue
+    // recomputes them; reductions and the iv are preserved by design).
+    {
+      const IRBlock& B2 = fn_.block(body_);
+      for (size_t i = 0; i < B2.insts.size(); ++i) {
+        const ValueId d = B2.insts[i].dst;
+        if (d == kNoValue || d == iv_.var) continue;
+        bool is_red_var = false;
+        for (const Reduction& red : reductions_) {
+          is_red_var |= (red.var == d);
+        }
+        if (is_red_var) continue;
+        if (used_outside_loop(d)) return false;
+      }
+    }
+    return true;
+  }
+
+  bool in_body_const(ValueId v) const {
+    for (const IRInst& inst : fn_.block(body_).insts) {
+      if (inst.dst == v) {
+        return inst.op == Opcode::ConstI32 || inst.op == Opcode::ConstF32;
+      }
+    }
+    return false;
+  }
+
+  bool narrow_safe_init(ValueId r) const {
+    const int64_t max_lane =
+        lane_kind_ == LaneKind::U8x16 ? 255 : 65535;
+    bool any_def = false;
+    for (uint32_t b = 0; b < fn_.num_blocks(); ++b) {
+      if (loop_.contains(b)) continue;
+      for (const IRInst& inst : fn_.block(b).insts) {
+        if (inst.dst != r) continue;
+        any_def = true;
+        if (inst.op == Opcode::ConstI32 && inst.imm >= 0 &&
+            inst.imm <= max_lane) {
+          continue;
+        }
+        // Copies of in-range constants: resolve one hop.
+        if (is_ir_copy(inst)) {
+          bool ok = false;
+          for (uint32_t b2 = 0; b2 < fn_.num_blocks(); ++b2) {
+            for (const IRInst& src : fn_.block(b2).insts) {
+              if (src.dst == inst.s0 && src.op == Opcode::ConstI32 &&
+                  src.imm >= 0 && src.imm <= max_lane) {
+                ok = true;
+              }
+            }
+          }
+          if (ok) continue;
+        }
+        return false;
+      }
+    }
+    return any_def;
+  }
+
+  // ------------------------------------------------------------------ //
+  void transform() {
+    const uint32_t vpre = fn_.add_block();
+    const uint32_t vhead = fn_.add_block();
+    const uint32_t vbody = fn_.add_block();
+    const uint32_t vepi = fn_.add_block();
+
+    // Redirect the preheader to the vector preheader.
+    {
+      IRInst& term = fn_.block(preheader_).insts.back();
+      if (term.op == Opcode::Jump && term.a == header_) term.a = vpre;
+      if (term.op == Opcode::BranchIf) {
+        if (term.a == header_) term.a = vpre;
+        if (term.b == header_) term.b = vpre;
+      }
+    }
+
+    // --- vector preheader: limit = n - max(n - i, 0) % VF; splats. -----
+    IRBuilder pre{fn_, vpre};
+    const ValueId range =
+        pre.binop(Opcode::SubI32, Type::I32, bound_, iv_.var);
+    const ValueId zero = pre.const_i32(0);
+    const ValueId clamped =
+        pre.binop(Opcode::MaxSI32, Type::I32, range, zero);
+    const ValueId vfc = pre.const_i32(static_cast<int32_t>(vf_));
+    const ValueId rem =
+        pre.binop(Opcode::RemUI32, Type::I32, clamped, vfc);
+    limit_ = pre.binop(Opcode::SubI32, Type::I32, bound_, rem);
+
+    // Splats for invariant / in-body-const elementwise operands.
+    const IRBlock body_copy = fn_.block(body_);  // snapshot
+    for (size_t i = 0; i < body_copy.insts.size(); ++i) {
+      const IRInst& inst = body_copy.insts[i];
+      std::vector<ValueId> needs_vector;
+      if (classes_[i] == InstClass::ElemArith) {
+        needs_vector = {inst.s0, inst.s1};
+      } else if (classes_[i] == InstClass::Store) {
+        needs_vector = {inst.s1};  // stored value (s0 is the address)
+      } else {
+        continue;
+      }
+      for (ValueId s : needs_vector) {
+        if (s == kNoValue || elem_values_.count(s) || splats_.count(s)) {
+          continue;
+        }
+        ValueId scalar = s;
+        if (in_body_const(s)) {
+          // Re-materialize the constant outside the loop.
+          for (const IRInst& c : body_copy.insts) {
+            if (c.dst == s) {
+              const ValueId cc = fn_.new_value(fn_.value_type(s));
+              IRInst copy = c;
+              copy.dst = cc;
+              pre.emit(copy);
+              scalar = cc;
+              break;
+            }
+          }
+        }
+        const ValueId splat = fn_.new_value(Type::V128);
+        pre.emit({splat_op_for(lane_kind_), splat, scalar, kNoValue, kNoValue,
+                  0, 0, 0});
+        splats_[s] = splat;
+      }
+    }
+
+    // Vector accumulators.
+    for (Reduction& red : reductions_) {
+      if (red.widening) continue;
+      red.vacc = fn_.new_value(Type::V128);
+      const bool is_add =
+          red.scalar_op == Opcode::AddI32 || red.scalar_op == Opcode::AddF32;
+      if (is_add) {
+        pre.emit({Opcode::VZero, red.vacc, kNoValue, kNoValue, kNoValue, 0, 0,
+                  0});
+      } else {
+        pre.emit({splat_op_for(lane_kind_), red.vacc, red.var, kNoValue,
+                  kNoValue, 0, 0, 0});
+      }
+    }
+    pre.jump(vhead);
+
+    // --- vector header ---------------------------------------------------
+    IRBuilder vh{fn_, vhead};
+    const ValueId cond =
+        vh.binop(Opcode::LtSI32, Type::I32, iv_.var, limit_);
+    vh.br_if(cond, vbody, vepi);
+
+    // --- vector body -----------------------------------------------------
+    IRBuilder vb{fn_, vbody};
+    std::map<ValueId, ValueId> vec_of;  // scalar elementwise -> vector value
+    auto vec_operand = [&](ValueId s) -> ValueId {
+      const auto it = vec_of.find(s);
+      if (it != vec_of.end()) return it->second;
+      return splats_.at(s);
+    };
+    for (size_t i = 0; i < body_copy.insts.size(); ++i) {
+      const IRInst& inst = body_copy.insts[i];
+      switch (classes_[i]) {
+        case InstClass::Address:
+          vb.emit(inst);  // same dst ids; recomputed per vector step
+          break;
+        case InstClass::ElemLoad: {
+          const ValueId v = fn_.new_value(Type::V128);
+          vb.emit({Opcode::LoadV128, v, inst.s0, kNoValue, kNoValue, inst.imm,
+                   0, 0});
+          vec_of[inst.dst] = v;
+          break;
+        }
+        case InstClass::ElemArith: {
+          const ValueId v = fn_.new_value(Type::V128);
+          vb.emit({vector_op_for(inst.op, lane_kind_), v,
+                   vec_operand(inst.s0), vec_operand(inst.s1), kNoValue, 0, 0,
+                   0});
+          vec_of[inst.dst] = v;
+          break;
+        }
+        case InstClass::Store:
+          vb.emit({Opcode::StoreV128, kNoValue, inst.s0, vec_operand(inst.s1),
+                   kNoValue, inst.imm, 0, 0});
+          stats_.map_stores += 1;
+          break;
+        case InstClass::IvUpdate: {
+          const ValueId step = vb.const_i32(static_cast<int32_t>(vf_));
+          vb.assign_binop(Opcode::AddI32, iv_.var, iv_.var, step);
+          break;
+        }
+        case InstClass::RedUpdate: {
+          for (const Reduction& red : reductions_) {
+            if (red.update_index != i) continue;
+            if (red.widening) {
+              // acc += v.rsum(elem_vec)
+              const Opcode rsum = lane_kind_ == LaneKind::U8x16
+                                      ? Opcode::VRSumU8
+                                      : Opcode::VRSumU16;
+              const ValueId partial = fn_.new_value(Type::I32);
+              vb.emit({rsum, partial, vec_operand(red.elem), kNoValue,
+                       kNoValue, 0, 0, 0});
+              vb.assign_binop(Opcode::AddI32, red.var, red.var, partial);
+              stats_.widening_reductions += 1;
+            } else {
+              const Opcode vop = red.scalar_op == Opcode::AddI32
+                                     ? Opcode::VAddI32
+                                 : red.scalar_op == Opcode::AddF32
+                                     ? Opcode::VAddF32
+                                     : vector_op_for(red.scalar_op,
+                                                     lane_kind_);
+              vb.emit({vop, red.vacc, red.vacc, vec_operand(red.elem),
+                       kNoValue, 0, 0, 0});
+              stats_.accumulator_reductions += 1;
+            }
+          }
+          break;
+        }
+        case InstClass::Terminator:
+          break;
+      }
+    }
+    vb.jump(vhead);
+
+    // --- vector epilogue: merge accumulators, fall into scalar loop. ----
+    IRBuilder ve{fn_, vepi};
+    for (const Reduction& red : reductions_) {
+      if (red.widening || red.vacc == kNoValue) continue;
+      switch (red.scalar_op) {
+        case Opcode::AddI32: {
+          const ValueId h = fn_.new_value(Type::I32);
+          ve.emit({Opcode::VRSumI32, h, red.vacc, kNoValue, kNoValue, 0, 0,
+                   0});
+          ve.assign_binop(Opcode::AddI32, red.var, red.var, h);
+          break;
+        }
+        case Opcode::AddF32: {
+          const ValueId h = fn_.new_value(Type::F32);
+          ve.emit({Opcode::VRSumF32, h, red.vacc, kNoValue, kNoValue, 0, 0,
+                   0});
+          ve.assign_binop(Opcode::AddF32, red.var, red.var, h);
+          break;
+        }
+        default: {
+          // min/max: the accumulator was seeded with the incoming value,
+          // so a horizontal reduce replaces it entirely.
+          Opcode hop = Opcode::Nop;
+          switch (lane_kind_) {
+            case LaneKind::U8x16:
+              hop = (red.scalar_op == Opcode::MinUI32 ||
+                     red.scalar_op == Opcode::MinSI32)
+                        ? Opcode::VRMinU8
+                        : Opcode::VRMaxU8;
+              break;
+            case LaneKind::U16x8:
+              hop = Opcode::VRMaxU16;
+              break;
+            case LaneKind::I32x4:
+              hop = Opcode::VRMaxSI32;
+              break;
+            case LaneKind::F32x4:
+              hop = (red.scalar_op == Opcode::MinF32) ? Opcode::VRMinF32
+                                                      : Opcode::VRMaxF32;
+              break;
+            default:
+              break;
+          }
+          ve.emit({hop, red.var, red.vacc, kNoValue, kNoValue, 0, 0, 0});
+          break;
+        }
+      }
+    }
+    ve.jump(header_);  // scalar remainder loop
+
+    stats_.vectorized_headers.emplace_back(vhead, vf_);
+  }
+
+  IRFunction& fn_;
+  const Loop& loop_;
+  VectorizeStats& stats_;
+
+  uint32_t header_ = 0, body_ = 0, exit_ = 0, preheader_ = 0;
+  InductionVar iv_;
+  ValueId bound_ = kNoValue;
+  ValueId limit_ = kNoValue;
+  LaneKind lane_kind_ = LaneKind::None;
+  uint32_t vf_ = 0;
+  std::vector<InstClass> classes_;
+  std::vector<Reduction> reductions_;
+  std::vector<AccessPattern> accesses_;
+  std::set<ValueId> elem_values_;
+  std::map<ValueId, ValueId> splats_;
+};
+
+}  // namespace
+
+VectorizeStats vectorize(IRFunction& fn) {
+  VectorizeStats stats;
+  const std::vector<Loop> loops = find_loops(fn);
+  for (const Loop& loop : loops) {
+    stats.loops_considered += 1;
+    LoopVectorizer lv(fn, loop, stats);
+    if (lv.run()) stats.loops_vectorized += 1;
+  }
+  return stats;
+}
+
+}  // namespace svc

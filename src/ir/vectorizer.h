@@ -1,0 +1,48 @@
+// Split automatic vectorization, offline half (paper S4, [42]).
+//
+// The expensive analysis -- loop canonicalization, induction recognition,
+// dependence testing, reduction classification -- runs here, in the
+// offline compiler. The transformation result is expressed **in the
+// bytecode itself** through the portable vector builtins (v128 ops), plus
+// VectorizedLoop annotations, so the online step needs no loop analysis at
+// all: a SIMD target selects the builtins 1:1 and a scalar target
+// de-vectorizes them (jit/devectorize.h). That split is exactly Figure 1.
+//
+// Recognized shape (what the MiniC frontend emits for counted loops):
+//   header:  t = lt_s(i, n); br_if t -> body, exit
+//   body:    straight-line; loads/stores with addresses base + i*elem;
+//            elementwise arithmetic; reduction updates r = op(r, e);
+//            single induction update i = i + 1 after all memory accesses
+//
+// Strategies:
+//   - map kernels: loads -> load.v128, elementwise ops -> vector ops,
+//     stores -> store.v128 (vecadd, saxpy, dscal);
+//   - widening add reductions over u8/u16: scalar accumulator updated
+//     in-loop via v.rsum.u8/u16 (sum u8, sum u16);
+//   - min/max (and f32/i32 add) reductions: vector accumulator seeded by
+//     a splat of the incoming value, merged by a horizontal reduce in the
+//     vector epilogue (max u8);
+//   - the original scalar loop remains as the remainder epilogue.
+//
+// Alias assumption: distinct pointer-typed bases do not alias (DESIGN.md
+// S2 records this substitution for the paper's language-level analysis).
+#pragma once
+
+#include "ir/ir.h"
+
+namespace svc {
+
+struct VectorizeStats {
+  uint32_t loops_considered = 0;
+  uint32_t loops_vectorized = 0;
+  uint32_t widening_reductions = 0;
+  uint32_t accumulator_reductions = 0;
+  uint32_t map_stores = 0;
+  // Per vectorized loop: (vector header block, VF) for annotations.
+  std::vector<std::pair<uint32_t, uint32_t>> vectorized_headers;
+};
+
+/// Vectorizes every eligible innermost loop of `fn` in place.
+VectorizeStats vectorize(IRFunction& fn);
+
+}  // namespace svc

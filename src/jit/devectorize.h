@@ -1,0 +1,29 @@
+// De-vectorization (lane expansion) for SIMD-less targets.
+//
+// This is how the paper's portable vectorized bytecode runs "unmodified on
+// many machines, with no or little penalty in the absence of SIMD
+// instructions" (S4, [42]): the JIT for a scalar target rewrites each v128
+// virtual register into one scalar virtual register per lane and each
+// vector builtin into per-lane scalar ops. The vector loop effectively
+// becomes a scalar loop unrolled by the vectorization factor, with lanes
+// kept in registers -- so the residual cost is lane bookkeeping plus
+// *register pressure*, which is exactly what makes the 16-lane byte
+// kernels dip below 1.0x on the register-starved sparcsim.
+#pragma once
+
+#include "targets/machine.h"
+
+namespace svc {
+
+struct DevectorizeStats {
+  uint32_t vector_insts_expanded = 0;
+  uint32_t scalar_insts_emitted = 0;
+};
+
+/// Rewrites `fn` in place so it uses no Vec-class registers and no vector
+/// opcodes. Requires virtual registers (pre-allocation). Functions with
+/// v128 parameters or v128 call arguments are rejected (fatal): the
+/// offline compiler never produces them.
+DevectorizeStats devectorize(MFunction& fn);
+
+}  // namespace svc

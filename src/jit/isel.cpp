@@ -1,0 +1,176 @@
+#include "jit/isel.h"
+
+#include <map>
+#include <set>
+
+#include "regalloc/liveness.h"
+
+namespace svc {
+namespace {
+
+std::map<uint32_t, uint32_t> count_uses(const MFunction& fn) {
+  std::map<uint32_t, uint32_t> uses;
+  for (const MBlock& block : fn.blocks) {
+    for (const MInst& inst : block.insts) {
+      for_each_use(fn, inst, [&](Reg r) { uses[vreg_key(r)] += 1; });
+    }
+  }
+  return uses;
+}
+
+std::set<uint32_t> local_keys(const MFunction& fn) {
+  std::set<uint32_t> keys;
+  for (const auto& lanes : fn.local_regs) {
+    for (const Reg& r : lanes) keys.insert(vreg_key(r));
+  }
+  for (const Reg& r : fn.param_regs) keys.insert(vreg_key(r));
+  return keys;
+}
+
+bool defines(const MInst& inst, Reg r) {
+  return inst.dst.valid && inst.dst == r;
+}
+
+bool uses_reg(const MFunction& fn, const MInst& inst, Reg r) {
+  bool found = false;
+  for_each_use(fn, inst, [&](Reg u) { found |= (u == r); });
+  return found;
+}
+
+void replace_use(MFunction& fn, MInst& inst, Reg from, Reg to) {
+  if (inst.s0 == from) inst.s0 = to;
+  if (inst.s1 == from) inst.s1 = to;
+  if (inst.s2 == from) inst.s2 = to;
+  if (!is_machine_only(inst.op) && base_opcode(inst.op) == Opcode::Call) {
+    for (Reg& r : fn.call_sites[static_cast<size_t>(inst.imm)]) {
+      if (r == from) r = to;
+    }
+  }
+}
+
+/// One cleanup sweep; applies at most one transform (so use counts stay
+/// fresh) and returns the number of moves removed (0 or 1).
+uint32_t sweep(MFunction& fn) {
+  const auto uses = count_uses(fn);
+  const auto locals = local_keys(fn);
+  uint32_t removed = 0;
+
+  auto use_count = [&](Reg r) {
+    const auto it = uses.find(vreg_key(r));
+    return it == uses.end() ? 0u : it->second;
+  };
+  auto is_local = [&](Reg r) { return locals.count(vreg_key(r)) != 0; };
+
+  for (MBlock& block : fn.blocks) {
+    std::vector<MInst>& insts = block.insts;
+    for (size_t i = 0; i < insts.size(); ++i) {
+      MInst& mv = insts[i];
+      if (mv.op != MOp::MovRR) continue;
+
+      // Dead move: temp destination never read.
+      if (!is_local(mv.dst) && use_count(mv.dst) == 0) {
+        insts.erase(insts.begin() + static_cast<long>(i));
+        return 1;
+      }
+
+      // Rename-adjacent: previous instruction's sole purpose is to feed
+      // this move -- fold the destination into it.
+      if (i > 0) {
+        MInst& prev = insts[i - 1];
+        if (prev.dst.valid && prev.dst == mv.s0 && !is_local(mv.s0) &&
+            use_count(mv.s0) == 1) {
+          prev.dst = mv.dst;
+          insts.erase(insts.begin() + static_cast<long>(i));
+          return 1;
+        }
+      }
+
+      // Forward into the single later use within the block.
+      if (!is_local(mv.dst) && use_count(mv.dst) == 1) {
+        for (size_t j = i + 1; j < insts.size(); ++j) {
+          MInst& later = insts[j];
+          if (uses_reg(fn, later, mv.dst)) {
+            replace_use(fn, later, mv.dst, mv.s0);
+            insts.erase(insts.begin() + static_cast<long>(i));
+            return 1;
+          }
+          if (defines(later, mv.s0) || defines(later, mv.dst)) break;
+        }
+      }
+    }
+  }
+  return removed;
+}
+
+}  // namespace
+
+PeepholeStats peephole_cleanup(MFunction& fn) {
+  PeepholeStats stats;
+  // One transform per sweep keeps use counts exact; bound the rounds to
+  // stay linear-ish in practice (each round removes an instruction).
+  const size_t max_rounds = 4 * fn.size() + 16;
+  for (size_t round = 0; round < max_rounds; ++round) {
+    const uint32_t removed = sweep(fn);
+    stats.moves_removed += removed;
+    if (removed == 0) break;
+  }
+  return stats;
+}
+
+uint32_t form_fma(MFunction& fn) {
+  uint32_t formed = 0;
+  const auto uses = count_uses(fn);
+  auto use_count = [&](Reg r) {
+    const auto it = uses.find(vreg_key(r));
+    return it == uses.end() ? 0u : it->second;
+  };
+
+  for (MBlock& block : fn.blocks) {
+    std::vector<MInst>& insts = block.insts;
+    for (size_t i = 0; i < insts.size(); ++i) {
+      MInst& mul = insts[i];
+      if (is_machine_only(mul.op) || base_opcode(mul.op) != Opcode::MulF32) {
+        continue;
+      }
+      if (use_count(mul.dst) != 1) continue;
+      for (size_t j = i + 1; j < insts.size(); ++j) {
+        MInst& add = insts[j];
+        const bool is_add = !is_machine_only(add.op) &&
+                            base_opcode(add.op) == Opcode::AddF32;
+        if (is_add && (add.s0 == mul.dst || add.s1 == mul.dst)) {
+          const Reg addend = add.s0 == mul.dst ? add.s1 : add.s0;
+          // The multiply's reads move down to the add's position, so its
+          // operands must survive unmodified until there. The addend is
+          // read at the add's position either way.
+          bool safe = true;
+          for (size_t k = i + 1; k < j; ++k) {
+            if (defines(insts[k], mul.s0) || defines(insts[k], mul.s1)) {
+              safe = false;
+              break;
+            }
+          }
+          if (!safe) break;
+          MInst fma;
+          fma.op = MOp::FMA32;
+          fma.dst = add.dst;
+          fma.s0 = mul.s0;
+          fma.s1 = mul.s1;
+          fma.s2 = addend;
+          insts[j] = fma;
+          insts.erase(insts.begin() + static_cast<long>(i));
+          --i;
+          ++formed;
+          break;
+        }
+        // Stop if anything clobbers the product or its inputs.
+        if (defines(insts[j], mul.dst) || defines(insts[j], mul.s0) ||
+            defines(insts[j], mul.s1)) {
+          break;
+        }
+      }
+    }
+  }
+  return formed;
+}
+
+}  // namespace svc

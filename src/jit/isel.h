@@ -1,0 +1,26 @@
+// Machine-code cleanup run by the online compiler between translation and
+// register allocation:
+//   - copy forwarding / dead-move elimination (removes the operand-stack
+//     traffic left by stack-to-register translation);
+//   - fused multiply-add formation for targets with has_fma (ppcsim,
+//     spusim) -- the saxpy inner loop becomes one fmadds.
+// Both are linear-time per block, respecting the JIT budget constraints
+// the paper works under (S5).
+#pragma once
+
+#include "targets/machine.h"
+
+namespace svc {
+
+struct PeepholeStats {
+  uint32_t moves_removed = 0;
+  uint32_t fma_formed = 0;
+};
+
+/// Runs copy forwarding + dead-move elimination to fixpoint (bounded).
+PeepholeStats peephole_cleanup(MFunction& fn);
+
+/// Forms FMA32 from MulF32 + AddF32 pairs. Call only for has_fma targets.
+uint32_t form_fma(MFunction& fn);
+
+}  // namespace svc

@@ -1,0 +1,75 @@
+#include "jit/jit_compiler.h"
+
+#include "jit/devectorize.h"
+#include "jit/isel.h"
+#include "jit/stack_to_reg.h"
+
+namespace svc {
+
+JitArtifact JitCompiler::compile(const Module& module, uint32_t func_idx) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const Function& fn = module.function(func_idx);
+
+  JitArtifact artifact;
+  artifact.code = stack_to_reg(module, fn);
+
+  const PeepholeStats peep = peephole_cleanup(artifact.code);
+  artifact.stats.add("jit.moves_removed", peep.moves_removed);
+
+  if (desc_.has_fma) {
+    artifact.stats.add("jit.fma_formed", form_fma(artifact.code));
+  }
+
+  if (!desc_.has_simd) {
+    const DevectorizeStats dv = devectorize(artifact.code);
+    artifact.stats.add("jit.vector_insts_expanded", dv.vector_insts_expanded);
+    artifact.stats.add("jit.scalar_insts_emitted", dv.scalar_insts_emitted);
+    // Lane expansion leaves copy chains worth one more cleanup round.
+    const PeepholeStats peep2 = peephole_cleanup(artifact.code);
+    artifact.stats.add("jit.moves_removed", peep2.moves_removed);
+  }
+
+  // Register allocation. The SplitGuided policy consumes the offline
+  // SpillPriority annotation when present and enabled.
+  SpillPriorityInfo hints;
+  const SpillPriorityInfo* hints_ptr = nullptr;
+  if (options_.use_annotations &&
+      options_.alloc_policy == AllocPolicy::SplitGuided) {
+    if (const Annotation* ann =
+            find_annotation(fn.annotations(), AnnotationKind::SpillPriority)) {
+      if (auto decoded = SpillPriorityInfo::decode(ann->payload)) {
+        hints = std::move(*decoded);
+        hints_ptr = &hints;
+      }
+    }
+  }
+  const AllocResult alloc =
+      allocate_registers(artifact.code, desc_, options_.alloc_policy,
+                         hints_ptr);
+  artifact.stats.add("jit.spilled_vregs", alloc.spilled_vregs);
+  artifact.stats.add("jit.static_spill_loads", alloc.static_spill_loads);
+  artifact.stats.add("jit.static_spill_stores", alloc.static_spill_stores);
+  artifact.stats.add("jit.alloc_work_units",
+                     static_cast<int64_t>(alloc.work_units));
+  artifact.stats.add("jit.code_bytes",
+                     static_cast<int64_t>(artifact.code.code_bytes()));
+
+  const auto t1 = std::chrono::steady_clock::now();
+  artifact.compile_seconds =
+      std::chrono::duration<double>(t1 - t0).count();
+  return artifact;
+}
+
+std::vector<MFunction> JitCompiler::compile_module(const Module& module,
+                                                   Statistics* aggregate) {
+  std::vector<MFunction> out;
+  out.reserve(module.num_functions());
+  for (uint32_t i = 0; i < module.num_functions(); ++i) {
+    JitArtifact artifact = compile(module, i);
+    if (aggregate) aggregate->merge(artifact.stats);
+    out.push_back(std::move(artifact.code));
+  }
+  return out;
+}
+
+}  // namespace svc

@@ -1,0 +1,55 @@
+// The online (JIT) compiler: SVIL bytecode -> allocated machine code for
+// one target. Mirrors the paper's deployment-side step (Figure 1, right):
+// it is fast, linear-time, and leans on offline annotations instead of
+// re-running expensive analyses.
+//
+// Pipeline: stack-to-register translation -> peephole cleanup ->
+// [FMA formation if has_fma] -> [de-vectorization if !has_simd, plus a
+// second cleanup] -> register allocation (policy-selectable; SplitGuided
+// consumes the SpillPriority annotation).
+#pragma once
+
+#include <chrono>
+#include <vector>
+
+#include "bytecode/module.h"
+#include "regalloc/linear_scan.h"
+#include "support/statistics.h"
+#include "targets/machine.h"
+
+namespace svc {
+
+struct JitOptions {
+  AllocPolicy alloc_policy = AllocPolicy::LinearScan;
+  // When false the JIT ignores all annotations (the ablation arm of the
+  // split-compilation experiments); SplitGuided degrades to NaiveOnline
+  // ranking as required by the annotations-are-advisory rule.
+  bool use_annotations = true;
+};
+
+struct JitArtifact {
+  MFunction code;
+  Statistics stats;  // per-phase counters (moves_removed, spills, ...)
+  double compile_seconds = 0.0;
+};
+
+class JitCompiler {
+ public:
+  explicit JitCompiler(const MachineDesc& desc, JitOptions options = {})
+      : desc_(desc), options_(options) {}
+
+  [[nodiscard]] const MachineDesc& desc() const { return desc_; }
+
+  /// Compiles one function of `module`.
+  [[nodiscard]] JitArtifact compile(const Module& module, uint32_t func_idx);
+
+  /// Compiles every function; `aggregate` (optional) accumulates stats.
+  [[nodiscard]] std::vector<MFunction> compile_module(
+      const Module& module, Statistics* aggregate = nullptr);
+
+ private:
+  const MachineDesc& desc_;
+  JitOptions options_;
+};
+
+}  // namespace svc

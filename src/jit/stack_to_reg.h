@@ -1,0 +1,24 @@
+// Stack-to-register translation: the front half of the online compiler.
+// One forward walk per block (possible because SVIL guarantees an empty
+// evaluation stack at block boundaries) simulates the operand stack
+// symbolically over virtual registers and emits three-address machine
+// instructions 1:1.
+//
+// Locals map to dedicated virtual registers. local.get pushes the local's
+// register directly (no copy); local.set emits one move, and protects any
+// still-on-stack reads of the old value with a temporary copy first.
+// The peephole pass (isel.h) then removes almost all remaining moves.
+#pragma once
+
+#include "bytecode/function.h"
+#include "bytecode/module.h"
+#include "targets/machine.h"
+
+namespace svc {
+
+/// Translates `fn` to virtual-register machine code. The result is
+/// target-neutral except that vector ops are kept 1:1 (de-vectorization
+/// for SIMD-less targets happens afterwards, see jit/devectorize.h).
+[[nodiscard]] MFunction stack_to_reg(const Module& module, const Function& fn);
+
+}  // namespace svc

@@ -1,0 +1,14 @@
+// Chaitin-Briggs graph-coloring register allocation with optimistic
+// coloring. The offline quality bound of the split-regalloc experiment:
+// interference construction is O(n^2)-ish and far outside a JIT's time
+// budget (which bench/jit_compile_time demonstrates), but its spill
+// decisions are near-optimal for our workloads.
+#pragma once
+
+#include "regalloc/linear_scan.h"
+
+namespace svc {
+
+AllocResult chaitin_allocate(MFunction& fn, const MachineDesc& desc);
+
+}  // namespace svc

@@ -1,0 +1,52 @@
+#include "regalloc/interference.h"
+
+namespace svc {
+
+size_t InterferenceGraph::num_edges() const {
+  size_t n = 0;
+  for (const auto& s : adj_) n += s.size();
+  return n / 2;
+}
+
+InterferenceGraph build_interference(const MFunction& fn,
+                                     const Liveness& live) {
+  InterferenceGraph graph(live.num_keys());
+
+  for (uint32_t b = 0; b < fn.blocks.size(); ++b) {
+    // Live set seeded from live-out, walked backward.
+    std::set<uint32_t> live_now;
+    live.for_each_live_out(b, [&](uint32_t key) { live_now.insert(key); });
+
+    const auto& insts = fn.blocks[b].insts;
+    for (size_t i = insts.size(); i-- > 0;) {
+      const MInst& inst = insts[i];
+      if (const auto d = def_of(inst)) {
+        const uint32_t dkey = vreg_key(*d);
+        for (uint32_t other : live_now) {
+          // Only same-class vregs compete for registers.
+          if (other % kNumRegClasses == dkey % kNumRegClasses) {
+            graph.add_edge(dkey, other);
+          }
+        }
+        live_now.erase(dkey);
+      }
+      for_each_use(fn, inst,
+                   [&](Reg r) { live_now.insert(vreg_key(r)); });
+    }
+    // Parameters interfere with everything live at entry alongside them.
+    if (b == 0) {
+      for (const Reg& p : fn.param_regs) {
+        if (!p.valid) continue;
+        const uint32_t pkey = vreg_key(p);
+        for (uint32_t other : live_now) {
+          if (other != pkey && other % kNumRegClasses == pkey % kNumRegClasses) {
+            graph.add_edge(pkey, other);
+          }
+        }
+      }
+    }
+  }
+  return graph;
+}
+
+}  // namespace svc

@@ -1,0 +1,43 @@
+// Interference graph over virtual registers, built from precise liveness
+// by a backward walk per block (def interferes with everything live after
+// it). Used by the offline Chaitin-Briggs allocator -- this construction
+// is the "expensive analysis" the split allocator avoids paying online.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "regalloc/liveness.h"
+#include "targets/machine.h"
+
+namespace svc {
+
+class InterferenceGraph {
+ public:
+  explicit InterferenceGraph(size_t num_keys) : adj_(num_keys) {}
+
+  void add_edge(uint32_t a, uint32_t b) {
+    if (a == b) return;
+    adj_[a].insert(b);
+    adj_[b].insert(a);
+  }
+  [[nodiscard]] bool interferes(uint32_t a, uint32_t b) const {
+    return adj_[a].count(b) != 0;
+  }
+  [[nodiscard]] const std::set<uint32_t>& neighbors(uint32_t key) const {
+    return adj_[key];
+  }
+  [[nodiscard]] size_t degree(uint32_t key) const { return adj_[key].size(); }
+  [[nodiscard]] size_t num_keys() const { return adj_.size(); }
+  [[nodiscard]] size_t num_edges() const;
+
+ private:
+  std::vector<std::set<uint32_t>> adj_;
+};
+
+/// Builds the interference graph for `fn` using `live`.
+[[nodiscard]] InterferenceGraph build_interference(const MFunction& fn,
+                                                   const Liveness& live);
+
+}  // namespace svc

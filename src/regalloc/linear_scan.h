@@ -1,0 +1,53 @@
+// Register allocation entry point with four policies bracketing the
+// split-compilation experiment (paper S4, Diouf et al. [18]):
+//
+//   NaiveOnline    fastest JIT baseline: no dataflow liveness (locals are
+//                  whole-function intervals), round-robin eviction.
+//   LinearScan     classic Poletto-Sarkar: dataflow liveness + furthest-
+//                  end eviction. Better code, more JIT time.
+//   SplitGuided    the paper's split allocator: *naive-speed* interval
+//                  construction, eviction order read from the offline
+//                  SpillPriority annotation. Linear-time online.
+//   OfflineChaitin Chaitin-Briggs graph coloring over full interference;
+//                  the offline quality bound (too slow for a JIT budget).
+//
+// All policies share the spill rewriter: spilled operands are reloaded
+// into reserved scratch registers (allocatable_count + 0..2 per class);
+// spilled call arguments and parameters become slot-flagged registers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "bytecode/annotations.h"
+#include "targets/machine.h"
+
+namespace svc {
+
+enum class AllocPolicy : uint8_t {
+  NaiveOnline,
+  LinearScan,
+  SplitGuided,
+  OfflineChaitin,
+};
+
+[[nodiscard]] const char* alloc_policy_name(AllocPolicy p);
+
+struct AllocResult {
+  uint32_t spilled_vregs = 0;
+  uint32_t static_spill_loads = 0;
+  uint32_t static_spill_stores = 0;
+  // Abstract work units: interval/graph operations performed, a
+  // deterministic proxy for allocation time (wall clock is also measured
+  // by bench/jit_compile_time via google-benchmark).
+  uint64_t work_units = 0;
+};
+
+/// Allocates `fn` in place (vregs -> physical regs + spill code).
+/// `hints` is only consulted by SplitGuided and may be null (falls back
+/// to NaiveOnline behavior, per the annotations-are-advisory rule).
+AllocResult allocate_registers(MFunction& fn, const MachineDesc& desc,
+                               AllocPolicy policy,
+                               const SpillPriorityInfo* hints = nullptr);
+
+}  // namespace svc

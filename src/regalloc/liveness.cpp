@@ -1,0 +1,205 @@
+#include "regalloc/liveness.h"
+
+#include <algorithm>
+#include <map>
+
+namespace svc {
+
+std::vector<uint32_t> successors(const MFunction& fn, uint32_t block) {
+  const MBlock& bb = fn.blocks[block];
+  if (bb.insts.empty()) return {};
+  const MInst& term = bb.insts.back();
+  if (is_machine_only(term.op)) return {};
+  switch (base_opcode(term.op)) {
+    case Opcode::Jump:
+      return {term.a};
+    case Opcode::BranchIf:
+      if (term.a == term.b) return {term.a};
+      return {term.a, term.b};
+    default:
+      return {};
+  }
+}
+
+void for_each_use(const MFunction& fn, const MInst& inst,
+                  const std::function<void(Reg)>& f) {
+  if (inst.s0.valid) f(inst.s0);
+  if (inst.s1.valid) f(inst.s1);
+  if (inst.s2.valid) f(inst.s2);
+  if (!is_machine_only(inst.op) && base_opcode(inst.op) == Opcode::Call) {
+    for (const Reg& r : fn.call_sites[static_cast<size_t>(inst.imm)]) f(r);
+  }
+}
+
+std::optional<Reg> def_of(const MInst& inst) {
+  if (inst.dst.valid) return inst.dst;
+  return std::nullopt;
+}
+
+Liveness::Liveness(size_t num_blocks, size_t num_keys)
+    : num_keys_(num_keys),
+      in_(num_blocks, BitRow((num_keys + 63) / 64, 0)),
+      out_(num_blocks, BitRow((num_keys + 63) / 64, 0)) {}
+
+void Liveness::for_each_live_in(uint32_t block,
+                                const std::function<void(uint32_t)>& f) const {
+  for (uint32_t key = 0; key < num_keys_; ++key) {
+    if (test(in_[block], key)) f(key);
+  }
+}
+
+void Liveness::for_each_live_out(
+    uint32_t block, const std::function<void(uint32_t)>& f) const {
+  for (uint32_t key = 0; key < num_keys_; ++key) {
+    if (test(out_[block], key)) f(key);
+  }
+}
+
+Liveness compute_liveness(const MFunction& fn) {
+  const uint32_t max_v =
+      std::max({fn.num_vregs[0], fn.num_vregs[1], fn.num_vregs[2]});
+  const size_t num_keys =
+      static_cast<size_t>(max_v) * kNumRegClasses + kNumRegClasses;
+  const size_t nb = fn.blocks.size();
+  Liveness lv(nb, num_keys);
+  const size_t words = (num_keys + 63) / 64;
+
+  // Per-block gen (upward-exposed uses) and kill (defs) sets.
+  std::vector<Liveness::BitRow> gen(nb, Liveness::BitRow(words, 0));
+  std::vector<Liveness::BitRow> kill(nb, Liveness::BitRow(words, 0));
+  for (size_t b = 0; b < nb; ++b) {
+    for (const MInst& inst : fn.blocks[b].insts) {
+      for_each_use(fn, inst, [&](Reg r) {
+        const uint32_t k = vreg_key(r);
+        if (!Liveness::test(kill[b], k)) Liveness::set(gen[b], k);
+      });
+      if (const auto d = def_of(inst)) Liveness::set(kill[b], vreg_key(*d));
+    }
+  }
+
+  // Backward fixpoint.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t bi = nb; bi-- > 0;) {
+      const auto b = static_cast<uint32_t>(bi);
+      Liveness::BitRow new_out(words, 0);
+      for (uint32_t succ : successors(fn, b)) {
+        for (size_t w = 0; w < words; ++w) new_out[w] |= lv.in_[succ][w];
+      }
+      Liveness::BitRow new_in(words);
+      for (size_t w = 0; w < words; ++w) {
+        new_in[w] = gen[b][w] | (new_out[w] & ~kill[b][w]);
+      }
+      if (new_out != lv.out_[b] || new_in != lv.in_[b]) {
+        lv.out_[b] = std::move(new_out);
+        lv.in_[b] = std::move(new_in);
+        changed = true;
+      }
+    }
+  }
+  return lv;
+}
+
+LinearOrder linearize(const MFunction& fn) {
+  LinearOrder order;
+  order.block_start.resize(fn.blocks.size());
+  uint32_t pos = 0;
+  for (size_t b = 0; b < fn.blocks.size(); ++b) {
+    order.block_start[b] = pos;
+    pos += static_cast<uint32_t>(fn.blocks[b].insts.size());
+  }
+  order.total = pos;
+  return order;
+}
+
+namespace {
+
+Reg key_to_reg(uint32_t key) {
+  return Reg::make(static_cast<RegClass>(key % kNumRegClasses),
+                   key / kNumRegClasses);
+}
+
+}  // namespace
+
+std::vector<LiveInterval> build_intervals(const MFunction& fn,
+                                          const LinearOrder& order,
+                                          const Liveness* precise) {
+  std::map<uint32_t, LiveInterval> by_key;  // ordered for determinism
+
+  // Which vregs are SVIL locals (or de-vectorized lanes of locals)?
+  std::map<uint32_t, uint32_t> local_of;
+  for (uint32_t i = 0; i < fn.local_regs.size(); ++i) {
+    for (const Reg& r : fn.local_regs[i]) {
+      if (r.valid) local_of[vreg_key(r)] = i;
+    }
+  }
+
+  auto extend = [&](Reg r, uint32_t pos, bool count_use) {
+    const uint32_t key = vreg_key(r);
+    auto [it, inserted] = by_key.try_emplace(key);
+    LiveInterval& iv = it->second;
+    if (inserted) {
+      iv.vreg = r;
+      iv.start = pos;
+      iv.end = pos;
+      const auto lit = local_of.find(key);
+      if (lit != local_of.end()) {
+        iv.is_local = true;
+        iv.local_idx = lit->second;
+      }
+    } else {
+      iv.start = std::min(iv.start, pos);
+      iv.end = std::max(iv.end, pos);
+    }
+    if (count_use) iv.use_count += 1;
+  };
+
+  // Parameters are defined at entry.
+  for (const Reg& p : fn.param_regs) {
+    if (p.valid) extend(p, 0, false);
+  }
+
+  for (uint32_t b = 0; b < fn.blocks.size(); ++b) {
+    const uint32_t bstart = order.block_start[b];
+    const uint32_t bend =
+        bstart +
+        (fn.blocks[b].insts.empty()
+             ? 0
+             : static_cast<uint32_t>(fn.blocks[b].insts.size()) - 1);
+    if (precise) {
+      precise->for_each_live_in(
+          b, [&](uint32_t key) { extend(key_to_reg(key), bstart, false); });
+      precise->for_each_live_out(
+          b, [&](uint32_t key) { extend(key_to_reg(key), bend, false); });
+    }
+    for (uint32_t i = 0; i < fn.blocks[b].insts.size(); ++i) {
+      const MInst& inst = fn.blocks[b].insts[i];
+      const uint32_t pos = order.pos(b, i);
+      for_each_use(fn, inst, [&](Reg r) { extend(r, pos, true); });
+      if (const auto d = def_of(inst)) extend(*d, pos, true);
+    }
+  }
+
+  if (!precise) {
+    // Naive mode: locals conservatively live for the whole function.
+    for (auto& [key, iv] : by_key) {
+      if (iv.is_local) {
+        iv.start = 0;
+        iv.end = order.total == 0 ? 0 : order.total - 1;
+      }
+    }
+  }
+
+  std::vector<LiveInterval> out;
+  out.reserve(by_key.size());
+  for (auto& [key, iv] : by_key) out.push_back(iv);
+  std::sort(out.begin(), out.end(),
+            [](const LiveInterval& a, const LiveInterval& b) {
+              if (a.start != b.start) return a.start < b.start;
+              return vreg_key(a.vreg) < vreg_key(b.vreg);
+            });
+  return out;
+}
+
+}  // namespace svc

@@ -1,0 +1,101 @@
+#include "regalloc/split_alloc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace svc {
+
+SpillPriorityInfo compute_spill_priorities(const Function& fn) {
+  const size_t num_locals = fn.num_locals();
+
+  // Linearized positions of block starts.
+  std::vector<uint32_t> block_start(fn.num_blocks(), 0);
+  uint32_t pos = 0;
+  for (uint32_t b = 0; b < fn.num_blocks(); ++b) {
+    block_start[b] = pos;
+    pos += static_cast<uint32_t>(fn.block(b).insts.size());
+  }
+  const uint32_t total = pos;
+
+  // Loop-depth estimate per block: each back-edge (branch to an earlier
+  // block) deepens every block in [target, source]. The offline lowering
+  // emits blocks in source order, so this matches the real loop forest on
+  // structured control flow.
+  std::vector<uint32_t> depth(fn.num_blocks(), 0);
+  for (uint32_t b = 0; b < fn.num_blocks(); ++b) {
+    const Instruction& term = fn.block(b).terminator();
+    auto mark = [&](uint32_t target) {
+      if (target <= b) {
+        for (uint32_t d = target; d <= b; ++d) depth[d] += 1;
+      }
+    };
+    if (term.op == Opcode::Jump) mark(term.a);
+    if (term.op == Opcode::BranchIf) {
+      mark(term.a);
+      mark(term.b);
+    }
+  }
+
+  struct LocalStats {
+    double weighted_uses = 0;
+    uint32_t first = UINT32_MAX;
+    uint32_t last = 0;
+    bool seen = false;
+  };
+  std::vector<LocalStats> stats(num_locals);
+
+  for (uint32_t b = 0; b < fn.num_blocks(); ++b) {
+    const double weight = std::pow(10.0, std::min<uint32_t>(depth[b], 4));
+    for (uint32_t i = 0; i < fn.block(b).insts.size(); ++i) {
+      const Instruction& inst = fn.block(b).insts[i];
+      if (inst.op != Opcode::LocalGet && inst.op != Opcode::LocalSet) continue;
+      LocalStats& s = stats[inst.a];
+      const uint32_t p = block_start[b] + i;
+      s.weighted_uses += weight;
+      s.first = std::min(s.first, p);
+      s.last = std::max(s.last, p);
+      s.seen = true;
+    }
+  }
+  // Parameters are live from entry.
+  for (uint32_t p = 0; p < fn.num_params(); ++p) {
+    stats[p].first = 0;
+    stats[p].seen = true;
+  }
+
+  // Density = weighted uses per unit of span. Low density = long-lived,
+  // rarely-touched local = ideal spill candidate.
+  std::vector<std::pair<double, uint32_t>> ranked;
+  for (uint32_t l = 0; l < num_locals; ++l) {
+    const LocalStats& s = stats[l];
+    if (!s.seen) continue;
+    const double span =
+        1.0 + (s.last >= s.first ? s.last - s.first : total);
+    ranked.emplace_back(s.weighted_uses / span, l);
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  SpillPriorityInfo info;
+  info.eviction_order.reserve(ranked.size());
+  info.weights.reserve(ranked.size());
+  for (const auto& [density, local] : ranked) {
+    info.eviction_order.push_back(local);
+    info.weights.push_back(
+        static_cast<uint32_t>(std::min(density * 256.0, 1e9)));
+  }
+  return info;
+}
+
+void annotate_spill_priorities(Function& fn) {
+  auto& anns = fn.annotations();
+  anns.erase(std::remove_if(anns.begin(), anns.end(),
+                            [](const Annotation& a) {
+                              return a.kind == AnnotationKind::SpillPriority;
+                            }),
+             anns.end());
+  anns.push_back(compute_spill_priorities(fn).encode());
+}
+
+}  // namespace svc

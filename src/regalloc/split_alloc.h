@@ -1,0 +1,23 @@
+// Offline half of split register allocation (paper S4, Diouf et al. [18]).
+//
+// The offline compiler can afford global analysis of local variables'
+// live spans and use densities. The result is distilled into a compact,
+// *target-independent* SpillPriority annotation: locals sorted by eviction
+// preference. Because the ranking is an order, not an assignment, it is
+// valid for any register count K -- the online allocator stays linear-time
+// and simply consults the order when pressure exceeds its K.
+#pragma once
+
+#include "bytecode/annotations.h"
+#include "bytecode/function.h"
+
+namespace svc {
+
+/// Analyzes `fn` and computes the portable spill-priority annotation.
+[[nodiscard]] SpillPriorityInfo compute_spill_priorities(const Function& fn);
+
+/// Convenience: computes and attaches the annotation to `fn` (replacing
+/// any existing SpillPriority annotation).
+void annotate_spill_priorities(Function& fn);
+
+}  // namespace svc

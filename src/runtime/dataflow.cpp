@@ -1,0 +1,43 @@
+#include "runtime/dataflow.h"
+
+#include <algorithm>
+
+#include "support/diagnostics.h"
+
+namespace svc {
+
+uint64_t PipelineReport::bottleneck_cycles() const {
+  uint64_t worst = 0;
+  for (const StageReport& s : stages) {
+    worst = std::max(worst, s.total_cycles());
+  }
+  return worst;
+}
+
+PipelineReport Pipeline::run(uint64_t blocks) {
+  PipelineReport report;
+  report.blocks = blocks;
+  for (Stage& stage : stages_) {
+    const SimResult result = stage.fire();
+    if (!result.ok()) {
+      fatal("pipeline stage '" + stage.name + "' trapped");
+    }
+    StageReport sr;
+    sr.name = stage.name;
+    sr.core = stage.core;
+    sr.fire_cycles = result.stats.cycles;
+    const bool accel = soc_.core_spec(stage.core).is_accelerator;
+    sr.dma_cycles =
+        accel ? 2 * soc_.dma_cycles(stage.dma_bytes_per_block) : 0;
+    report.stages.push_back(sr);
+  }
+  for (const StageReport& s : report.stages) {
+    report.latency_cycles += s.total_cycles();
+  }
+  report.steady_total_cycles =
+      report.latency_cycles +
+      (blocks > 0 ? (blocks - 1) * report.bottleneck_cycles() : 0);
+  return report;
+}
+
+}  // namespace svc

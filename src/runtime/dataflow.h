@@ -1,0 +1,64 @@
+// Static-dataflow pipeline runtime over the SoC -- the deterministic,
+// composable concurrency substrate the paper points to (S4: Kahn process
+// networks as the semantic basis for parallel bytecode). We implement the
+// statically-schedulable subset (single-rate SDF pipelines): each stage
+// fires once per block of samples, stages on different cores overlap in
+// steady state, and accelerator stages pay DMA per block.
+//
+// Timing model for B blocks through stages s_1..s_k (pipelined):
+//   latency  = sum_i cost(s_i)
+//   total    = latency + (B - 1) * max_i cost(s_i)
+// where cost = simulated firing cycles (+ DMA in/out for accelerators).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "runtime/soc.h"
+
+namespace svc {
+
+struct StageReport {
+  std::string name;
+  size_t core = 0;
+  uint64_t fire_cycles = 0;  // one firing, compute only
+  uint64_t dma_cycles = 0;   // per firing
+  [[nodiscard]] uint64_t total_cycles() const {
+    return fire_cycles + dma_cycles;
+  }
+};
+
+struct PipelineReport {
+  std::vector<StageReport> stages;
+  uint64_t blocks = 0;
+  uint64_t latency_cycles = 0;     // first block through all stages
+  uint64_t steady_total_cycles = 0;  // all blocks, pipelined
+  [[nodiscard]] uint64_t bottleneck_cycles() const;
+};
+
+class Pipeline {
+ public:
+  /// `fire` runs one firing of the stage on its core and returns the sim
+  /// result (the harness binds function name, buffers and block size).
+  struct Stage {
+    std::string name;
+    size_t core;
+    uint64_t dma_bytes_per_block;  // 0 for host-resident stages
+    std::function<SimResult()> fire;
+  };
+
+  explicit Pipeline(Soc& soc) : soc_(soc) {}
+
+  void add_stage(Stage stage) { stages_.push_back(std::move(stage)); }
+
+  /// Fires every stage once (validating functionally), then extrapolates
+  /// the pipelined schedule for `blocks` blocks.
+  [[nodiscard]] PipelineReport run(uint64_t blocks);
+
+ private:
+  Soc& soc_;
+  std::vector<Stage> stages_;
+};
+
+}  // namespace svc

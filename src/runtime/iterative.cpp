@@ -1,0 +1,47 @@
+#include "runtime/iterative.h"
+
+namespace svc {
+
+std::string TuneConfig::str() const {
+  std::string s;
+  s += vectorize ? "vec" : "novec";
+  s += if_convert ? "+ifcvt" : "";
+  s += simplify ? "+simp" : "+nosimp";
+  return s;
+}
+
+OfflineOptions TuneConfig::to_offline_options() const {
+  OfflineOptions opts;
+  opts.vectorize = vectorize;
+  opts.passes.if_convert = if_convert;
+  opts.passes.simplify = simplify;
+  return opts;
+}
+
+TuneResult tune(std::string_view source, TargetKind kind,
+                const WorkloadFn& workload) {
+  TuneResult result;
+  result.best.cycles = UINT64_MAX;
+  for (int v = 0; v < 2; ++v) {
+    for (int ic = 0; ic < 2; ++ic) {
+      for (int s = 0; s < 2; ++s) {
+        TuneConfig config;
+        config.vectorize = v != 0;
+        config.if_convert = ic != 0;
+        config.simplify = s != 0;
+        const Module module =
+            compile_or_die(source, config.to_offline_options());
+        OnlineTarget target(kind);
+        target.load(module);
+        TuneCandidate candidate;
+        candidate.config = config;
+        candidate.cycles = workload(target);
+        result.all.push_back(candidate);
+        if (candidate.cycles < result.best.cycles) result.best = candidate;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace svc

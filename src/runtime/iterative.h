@@ -1,0 +1,45 @@
+// Iterative compilation driver (paper S4: "virtual machine monitors may be
+// the ideal engines to drive adaptive tuning"). Searches the offline
+// optimization knob space per target, evaluating candidate binaries on the
+// target's simulator, and reports the per-target winner -- demonstrating
+// that the best configuration differs across heterogeneous cores, which
+// is exactly why the decision belongs after deployment.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "driver/offline_compiler.h"
+#include "driver/online_compiler.h"
+
+namespace svc {
+
+struct TuneConfig {
+  bool vectorize = true;
+  bool if_convert = false;
+  bool simplify = true;
+
+  [[nodiscard]] std::string str() const;
+  [[nodiscard]] OfflineOptions to_offline_options() const;
+};
+
+/// Measures one candidate: the harness runs its workload on the loaded
+/// target and returns total simulated cycles.
+using WorkloadFn = std::function<uint64_t(OnlineTarget&)>;
+
+struct TuneCandidate {
+  TuneConfig config;
+  uint64_t cycles = 0;
+};
+
+struct TuneResult {
+  TuneCandidate best;
+  std::vector<TuneCandidate> all;  // full search space, evaluation order
+};
+
+/// Exhaustively evaluates the 8-point knob space of `source` on `kind`.
+[[nodiscard]] TuneResult tune(std::string_view source, TargetKind kind,
+                              const WorkloadFn& workload);
+
+}  // namespace svc

@@ -1,0 +1,58 @@
+#include "runtime/mapper.h"
+
+#include <algorithm>
+
+namespace svc {
+
+double core_affinity(const Soc& soc, size_t c, const Function& fn) {
+  const MachineDesc& desc = soc.core(c).desc();
+  HardwareHintsInfo hints;  // zero hints when the annotation is absent
+  if (const Annotation* ann =
+          find_annotation(fn.annotations(), AnnotationKind::HardwareHints)) {
+    if (auto decoded = HardwareHintsInfo::decode(ann->payload)) {
+      hints = *decoded;
+    }
+  }
+
+  double score = 1.0;
+  // Stack bytecode dilutes the static vector-op share (each vector op
+  // carries local.get/set traffic), so even a fully vectorized loop sits
+  // around 5-15%; saturate the affinity accordingly.
+  const double intensity =
+      std::min(1.0, hints.vector_intensity / 10.0);
+  if (hints.features & kFeatureSimd) {
+    // Vector work loves SIMD cores; scalarizing on a narrow core is fine
+    // but never preferable.
+    score += desc.has_simd ? 2.0 * intensity : -0.3 * intensity;
+  }
+  if (hints.features & kFeatureControlHeavy) {
+    // Deep-misprediction cores (spusim) are poor hosts for branchy code.
+    score -= 0.15 * static_cast<double>(desc.mispredict_penalty);
+  }
+  if (hints.features & kFeatureFloat) {
+    score += desc.has_fma ? 0.5 : 0.0;
+  }
+  // Accelerators pay DMA; bias gently toward the host when nothing else
+  // differentiates the cores.
+  if (soc.core_spec(c).is_accelerator) score -= 0.25;
+  return score;
+}
+
+std::vector<MappingScore> rank_cores(const Soc& soc, const Function& fn) {
+  std::vector<MappingScore> scores;
+  scores.reserve(soc.num_cores());
+  for (size_t c = 0; c < soc.num_cores(); ++c) {
+    scores.push_back({c, core_affinity(soc, c, fn)});
+  }
+  std::stable_sort(scores.begin(), scores.end(),
+                   [](const MappingScore& a, const MappingScore& b) {
+                     return a.score > b.score;
+                   });
+  return scores;
+}
+
+size_t choose_core(const Soc& soc, const Function& fn) {
+  return rank_cores(soc, fn).front().core;
+}
+
+}  // namespace svc

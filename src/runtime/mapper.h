@@ -1,0 +1,35 @@
+// Annotation-driven kernel-to-core mapping (paper S3: "mapping and
+// scheduling of computations can be performed across all available
+// processing nodes"; annotations "express the hardware requirements or
+// characteristics of a code module").
+//
+// The mapper reads each function's HardwareHints annotation -- produced
+// offline, target-independent -- and scores it against each core's
+// MachineDesc. No source access, no re-analysis: exactly the split the
+// paper advocates.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/soc.h"
+
+namespace svc {
+
+struct MappingScore {
+  size_t core = 0;
+  double score = 0.0;
+};
+
+/// Affinity score of `fn` on core `c` of `soc` (higher is better).
+[[nodiscard]] double core_affinity(const Soc& soc, size_t c,
+                                   const Function& fn);
+
+/// Ranks all cores for `fn`, best first.
+[[nodiscard]] std::vector<MappingScore> rank_cores(const Soc& soc,
+                                                   const Function& fn);
+
+/// Best core for `fn`.
+[[nodiscard]] size_t choose_core(const Soc& soc, const Function& fn);
+
+}  // namespace svc

@@ -1,0 +1,23 @@
+#include "runtime/soc.h"
+
+namespace svc {
+
+Soc::Soc(std::vector<CoreSpec> cores, size_t memory_bytes)
+    : specs_(std::move(cores)), memory_(memory_bytes) {
+  cores_.reserve(specs_.size());
+  for (const CoreSpec& spec : specs_) {
+    cores_.push_back(std::make_unique<OnlineTarget>(spec.kind));
+  }
+}
+
+void Soc::load(const Module& module) {
+  module_ = &module;
+  for (auto& core : cores_) core->load(module);
+}
+
+SimResult Soc::run_on(size_t c, std::string_view name,
+                      const std::vector<Value>& args) {
+  return cores_[c]->run(name, args, memory_);
+}
+
+}  // namespace svc

@@ -1,0 +1,57 @@
+// Simulated heterogeneous SoC (the paper's S3 scenario): a set of cores of
+// different target kinds sharing one linear memory, each running its own
+// per-ISA JIT over the *same* deployed bytecode module. Accelerator cores
+// (spusim) reach memory through a DMA model whose cost the scheduler
+// charges explicitly -- the stand-in for the Cell local-store transfers.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "driver/online_compiler.h"
+
+namespace svc {
+
+struct CoreSpec {
+  TargetKind kind;
+  bool is_accelerator = false;  // memory reached via DMA
+};
+
+class Soc {
+ public:
+  Soc(std::vector<CoreSpec> cores, size_t memory_bytes);
+
+  /// JIT-compiles `module` on every core (each for its own ISA).
+  void load(const Module& module);
+
+  [[nodiscard]] size_t num_cores() const { return cores_.size(); }
+  [[nodiscard]] const CoreSpec& core_spec(size_t c) const { return specs_[c]; }
+  [[nodiscard]] OnlineTarget& core(size_t c) { return *cores_[c]; }
+  [[nodiscard]] const OnlineTarget& core(size_t c) const { return *cores_[c]; }
+  [[nodiscard]] Memory& memory() { return memory_; }
+  [[nodiscard]] const Module* module() const { return module_; }
+
+  /// Runs `name` synchronously on core `c`.
+  [[nodiscard]] SimResult run_on(size_t c, std::string_view name,
+                                 const std::vector<Value>& args);
+
+  /// DMA cost (cycles) for moving `bytes` to or from an accelerator.
+  [[nodiscard]] uint64_t dma_cycles(uint64_t bytes) const {
+    return dma_setup_cycles_ + bytes / dma_bytes_per_cycle_;
+  }
+
+  void set_dma_model(uint64_t setup_cycles, uint64_t bytes_per_cycle) {
+    dma_setup_cycles_ = setup_cycles;
+    dma_bytes_per_cycle_ = bytes_per_cycle;
+  }
+
+ private:
+  std::vector<CoreSpec> specs_;
+  std::vector<std::unique_ptr<OnlineTarget>> cores_;
+  Memory memory_;
+  const Module* module_ = nullptr;
+  uint64_t dma_setup_cycles_ = 200;
+  uint64_t dma_bytes_per_cycle_ = 8;
+};
+
+}  // namespace svc

@@ -1,0 +1,12 @@
+// CRC-32 (IEEE 802.3 polynomial) used to checksum serialized modules so
+// the loader can reject bit-rotted or truncated deployment images.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace svc {
+
+[[nodiscard]] uint32_t crc32(std::span<const uint8_t> data);
+
+}  // namespace svc

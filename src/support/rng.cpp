@@ -1,0 +1,4 @@
+#include "support/rng.h"
+
+// Header-only implementation; this TU exists so the target has a stable
+// object for the library and a place for future non-inline additions.

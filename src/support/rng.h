@@ -1,0 +1,49 @@
+// Deterministic splitmix64-based RNG. Used by workload generators, the
+// property-based tests and the iterative-compilation driver, where run-to-
+// run reproducibility matters more than statistical perfection.
+#pragma once
+
+#include <cstdint>
+
+namespace svc {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  /// Next 64 random bits (splitmix64).
+  uint64_t next_u64() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  uint32_t next_u32() { return static_cast<uint32_t>(next_u64() >> 32); }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  uint64_t next_below(uint64_t bound) { return next_u64() % bound; }
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t next_range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(next_below(
+                    static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform float in [0, 1).
+  float next_f32() {
+    return static_cast<float>(next_u64() >> 40) * (1.0f / 16777216.0f);
+  }
+
+  double next_f64() {
+    return static_cast<double>(next_u64() >> 11) *
+           (1.0 / 9007199254740992.0);
+  }
+
+  bool next_bool() { return (next_u64() & 1) != 0; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace svc

@@ -1,0 +1,22 @@
+#include "support/statistics.h"
+
+namespace svc {
+
+std::string Statistics::dump() const {
+  std::string out;
+  for (const auto& [key, value] : counters_) {
+    out += key;
+    out += '=';
+    out += std::to_string(value);
+    out += '\n';
+  }
+  return out;
+}
+
+void Statistics::merge(const Statistics& other) {
+  for (const auto& [key, value] : other.counters_) {
+    counters_[key] += value;
+  }
+}
+
+}  // namespace svc

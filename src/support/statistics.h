@@ -1,0 +1,40 @@
+// Lightweight named counters/timers shared by the compiler passes, the JIT
+// and the simulators. Collected per-pipeline-run and dumped into bench
+// tables (e.g. "spills", "jit_cycles", "annotation_bytes").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace svc {
+
+class Statistics {
+ public:
+  void add(const std::string& key, int64_t delta) { counters_[key] += delta; }
+  void set(const std::string& key, int64_t value) { counters_[key] = value; }
+
+  [[nodiscard]] int64_t get(const std::string& key) const {
+    auto it = counters_.find(key);
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    return counters_.count(key) != 0;
+  }
+
+  [[nodiscard]] const std::map<std::string, int64_t>& all() const {
+    return counters_;
+  }
+
+  /// "key=value" lines, sorted by key.
+  [[nodiscard]] std::string dump() const;
+
+  void merge(const Statistics& other);
+  void clear() { counters_.clear(); }
+
+ private:
+  std::map<std::string, int64_t> counters_;
+};
+
+}  // namespace svc

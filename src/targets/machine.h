@@ -1,0 +1,170 @@
+// Machine layer: target-neutral machine IR (MInst/MFunction), register
+// classes, and per-target machine descriptions (register files, SIMD
+// capability, cost tables). Four concrete targets are registered:
+// x86sim, sparcsim, ppcsim (the Table 1 triple) and spusim (the Cell-like
+// vector accelerator of the S3 offload scenario).
+//
+// Machine ops reuse the SVIL Opcode enumeration in three-address register
+// form for all shared semantics; a small set of machine-only ops (moves,
+// spills, fused multiply-add) lives above Opcode::Count_. This mirrors how
+// a simple JIT maps a virtual ISA onto a RISC-like core 1:1, and lets the
+// simulator share semantic definitions with the reference interpreter.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bytecode/opcode.h"
+
+namespace svc {
+
+// --- Machine opcodes -----------------------------------------------------
+
+enum class MOp : uint16_t {
+  // Values below kMachineOnlyBase mirror svc::Opcode semantics.
+  MovRR = 1000,   // dst <- s0 (same class)
+  MovImm,         // int dst <- imm
+  FMovImm32,      // flt dst <- f32 imm (bits in imm)
+  FMovImm64,      // flt dst <- f64 imm (bits in imm)
+  SpillLoad,      // dst <- frame[imm]   (slot index, class of dst)
+  SpillStore,     // frame[imm] <- s0
+  FMA32,          // dst <- s0 * s1 + s2 (targets with has_fma)
+  LoadAddr,       // dst <- s0 + imm     (address arithmetic, int)
+  MNop,
+};
+
+inline constexpr uint16_t kMachineOnlyBase = 1000;
+
+/// Wraps a bytecode opcode as a machine op (three-address form).
+[[nodiscard]] inline MOp mop(Opcode op) {
+  return static_cast<MOp>(static_cast<uint16_t>(op));
+}
+[[nodiscard]] inline bool is_machine_only(MOp op) {
+  return static_cast<uint16_t>(op) >= kMachineOnlyBase;
+}
+/// Valid only when !is_machine_only(op).
+[[nodiscard]] inline Opcode base_opcode(MOp op) {
+  return static_cast<Opcode>(static_cast<uint16_t>(op));
+}
+
+[[nodiscard]] std::string mop_name(MOp op);
+
+// --- Registers -------------------------------------------------------------
+
+enum class RegClass : uint8_t { Int = 0, Flt = 1, Vec = 2 };
+inline constexpr size_t kNumRegClasses = 3;
+
+[[nodiscard]] RegClass reg_class_for(Type t);
+[[nodiscard]] const char* reg_class_prefix(RegClass cls);
+
+/// After register allocation, a register index with this bit set denotes a
+/// spill slot instead of a physical register. Used for call-site argument
+/// and parameter registers that were spilled (operands of ordinary
+/// instructions are rewritten to scratch registers instead).
+inline constexpr uint32_t kSlotFlag = 1u << 31;
+
+struct Reg {
+  RegClass cls = RegClass::Int;
+  uint32_t idx = 0;
+  bool valid = false;
+
+  static Reg make(RegClass cls, uint32_t idx) { return {cls, idx, true}; }
+  static Reg slot(RegClass cls, uint32_t slot_idx) {
+    return {cls, slot_idx | kSlotFlag, true};
+  }
+  [[nodiscard]] bool is_slot() const { return (idx & kSlotFlag) != 0; }
+  [[nodiscard]] uint32_t slot_index() const { return idx & ~kSlotFlag; }
+  friend bool operator==(const Reg&, const Reg&) = default;
+};
+
+// --- Machine instructions ----------------------------------------------------
+
+struct MInst {
+  MOp op = MOp::MNop;
+  Reg dst;
+  Reg s0, s1, s2;
+  int64_t imm = 0;   // constant bits | memory offset | spill slot
+  uint32_t a = 0;    // branch target 0 | callee index | lane
+  uint32_t b = 0;    // branch target 1
+
+  [[nodiscard]] std::string str() const;
+};
+
+struct MBlock {
+  std::vector<MInst> insts;
+};
+
+/// A function in machine form. Registers are virtual until register
+/// allocation rewrites them to physical indices and records frame sizes.
+struct MFunction {
+  std::string name;
+  std::vector<MBlock> blocks;
+  // Virtual register counts per class (valid pre-allocation).
+  uint32_t num_vregs[kNumRegClasses] = {0, 0, 0};
+  // Spill-slot counts per class (valid post-allocation).
+  uint32_t num_slots[kNumRegClasses] = {0, 0, 0};
+  // Parameter registers in declaration order (entry values arrive here).
+  std::vector<Reg> param_regs;
+  // Call-site argument registers: a Call instruction's imm field indexes
+  // this table; the listed registers (in the caller's frame) hold the
+  // arguments in declaration order.
+  std::vector<std::vector<Reg>> call_sites;
+  // SVIL-local -> vreg mapping maintained by the JIT front end and the
+  // de-vectorizer; consumed by split register allocation (annotation
+  // eviction ranks are expressed over SVIL locals). A de-vectorized v128
+  // local maps to one vreg per lane; all lanes inherit the local's rank.
+  std::vector<std::vector<Reg>> local_regs;
+  Type ret_type = Type::Void;
+  bool allocated = false;  // physical registers assigned?
+
+  [[nodiscard]] size_t size() const {
+    size_t n = 0;
+    for (const auto& b : blocks) n += b.insts.size();
+    return n;
+  }
+  /// Deployment size estimate: 4 bytes per instruction (RISC-style).
+  [[nodiscard]] size_t code_bytes() const { return size() * 4; }
+
+  [[nodiscard]] std::string str() const;
+};
+
+// --- Machine description -----------------------------------------------------
+
+/// Identifier for registered targets.
+enum class TargetKind : uint8_t { X86Sim, SparcSim, PpcSim, SpuSim };
+
+/// Static description of a simulated core: what the JIT needs (register
+/// budget, SIMD support, lowering preferences) and what the simulator
+/// needs (cycle cost tables, penalty model). All knobs are named so
+/// DESIGN.md S6 can point at them.
+struct MachineDesc {
+  TargetKind kind = TargetKind::X86Sim;
+  std::string name;
+  bool has_simd = false;
+  bool has_fma = false;
+  // Allocatable registers per class (beyond reserved scratch).
+  uint32_t regs[kNumRegClasses] = {8, 8, 8};
+  // Pipeline penalties (cycles).
+  uint32_t load_use_penalty = 1;
+  uint32_t taken_branch_penalty = 1;
+  uint32_t mispredict_penalty = 10;
+  // Cost-table overrides keyed by MOp raw value; everything else uses
+  // default_mop_cost().
+  std::map<uint16_t, uint32_t> cost_overrides;
+
+  [[nodiscard]] uint32_t cost(MOp op) const;
+  void override_cost(MOp op, uint32_t cycles) {
+    cost_overrides[static_cast<uint16_t>(op)] = cycles;
+  }
+  void override_cost(Opcode op, uint32_t cycles) {
+    override_cost(mop(op), cycles);
+  }
+};
+
+/// Baseline per-op cycle costs shared by all targets (latency-flavored,
+/// approximating CPI of dependent code on an in-order core).
+[[nodiscard]] uint32_t default_mop_cost(MOp op);
+
+}  // namespace svc

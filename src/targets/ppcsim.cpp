@@ -1,0 +1,36 @@
+// ppcsim: a PowerPC-flavored scalar RISC (the JIT in the paper ignored
+// AltiVec on this machine, so we model it SIMD-less: builtins are
+// de-vectorized). Characteristics that drive Table 1's shape:
+//  - 24 allocatable GPRs/FPRs: de-vectorized 16-lane loops fit without
+//    spilling, so implicit unrolling wins (the paper's 1.1-1.5 column);
+//  - cheap sub-word access (lbz/lhz) and update-form addressing;
+//  - fused multiply-add (fmadds), which the instruction selector uses for
+//    the saxpy pattern;
+//  - moderate misprediction cost (5).
+#include "targets/target_registry.h"
+
+namespace svc {
+
+MachineDesc make_ppcsim_desc() {
+  MachineDesc d;
+  d.kind = TargetKind::PpcSim;
+  d.name = "ppcsim";
+  d.has_simd = false;
+  d.has_fma = true;
+  d.regs[static_cast<size_t>(RegClass::Int)] = 24;
+  d.regs[static_cast<size_t>(RegClass::Flt)] = 24;
+  d.regs[static_cast<size_t>(RegClass::Vec)] = 0;
+  d.load_use_penalty = 1;
+  d.taken_branch_penalty = 1;
+  d.mispredict_penalty = 5;
+
+  d.override_cost(Opcode::LoadI8U, 2);   // lbz
+  d.override_cost(Opcode::LoadI16U, 2);  // lhz
+  d.override_cost(Opcode::SelectI32, 2); // isel
+  d.override_cost(Opcode::SelectF32, 2); // fsel
+  d.override_cost(Opcode::SelectF64, 2);
+  d.override_cost(MOp::FMA32, 4);        // fmadds
+  return d;
+}
+
+}  // namespace svc

@@ -1,0 +1,48 @@
+// sparcsim: an UltraSparc-flavored scalar RISC. No SIMD unit: the JIT
+// de-vectorizes the portable builtins into per-lane scalar code.
+// Characteristics that drive Table 1's shape on this target:
+//  - no SIMD, so a 16-lane de-vectorized loop carries 16 live lane values:
+//    with only 12 allocatable integer registers (register windows reserve
+//    the rest) the byte/short reduction kernels spill, landing slightly
+//    *below* scalar (the paper's 0.78-0.95 column);
+//  - sub-word memory accesses are comparatively expensive (no byte-merge
+//    path: cost 3 vs 2 for word loads);
+//  - shallow pipeline: cheap mispredictions (4), so branchy scalar code
+//    is not punished the way x86sim punishes it;
+//  - conditional moves (movcc) cost 3, making branchless selects mediocre.
+#include "targets/target_registry.h"
+
+namespace svc {
+
+MachineDesc make_sparcsim_desc() {
+  MachineDesc d;
+  d.kind = TargetKind::SparcSim;
+  d.name = "sparcsim";
+  d.has_simd = false;
+  d.has_fma = false;
+  d.regs[static_cast<size_t>(RegClass::Int)] = 10;
+  d.regs[static_cast<size_t>(RegClass::Flt)] = 14;
+  d.regs[static_cast<size_t>(RegClass::Vec)] = 0;  // de-vectorized anyway
+  d.load_use_penalty = 2;
+  d.taken_branch_penalty = 1;
+  d.mispredict_penalty = 4;
+
+  d.override_cost(Opcode::LoadI8U, 3);
+  d.override_cost(Opcode::LoadI8S, 3);
+  d.override_cost(Opcode::LoadI16U, 3);
+  d.override_cost(Opcode::LoadI16S, 3);
+  d.override_cost(Opcode::StoreI8, 2);
+  d.override_cost(Opcode::StoreI16, 2);
+  d.override_cost(Opcode::SelectI32, 3);
+  d.override_cost(Opcode::SelectF32, 3);
+  d.override_cost(Opcode::SelectF64, 3);
+  // FPU: competitive fp add/mul (UltraSparc had a good FPU).
+  d.override_cost(Opcode::AddF32, 3);
+  d.override_cost(Opcode::MulF32, 3);
+  // Spill traffic is painful with the register-window save area.
+  d.override_cost(MOp::SpillLoad, 4);
+  d.override_cost(MOp::SpillStore, 3);
+  return d;
+}
+
+}  // namespace svc

@@ -1,0 +1,56 @@
+// spusim: a Cell-SPU-flavored wide-SIMD accelerator for the paper's S3
+// offload scenario ("the JIT compiler for an IBM Cell processor could
+// decide to offload some of the numerical computations to a vector
+// accelerator"). Characteristics:
+//  - everything runs on the vector unit: vector ops are fast and fully
+//    pipelined (cost 1-2); *scalar* code is awkward (runs on the vector
+//    unit with extract/insert overhead, modeled as cost 2-3 scalar ops);
+//  - a huge unified register file (128), so spilling never happens;
+//  - no branch predictor (hint-based), so mispredictions hurt (18) --
+//    control-heavy code belongs on the host core, which is exactly what
+//    the annotation-driven mapper decides;
+//  - memory is a local store reached by DMA in the SoC model.
+#include "targets/target_registry.h"
+
+namespace svc {
+
+MachineDesc make_spusim_desc() {
+  MachineDesc d;
+  d.kind = TargetKind::SpuSim;
+  d.name = "spusim";
+  d.has_simd = true;
+  d.has_fma = true;
+  d.regs[static_cast<size_t>(RegClass::Int)] = 40;
+  d.regs[static_cast<size_t>(RegClass::Flt)] = 40;
+  d.regs[static_cast<size_t>(RegClass::Vec)] = 48;
+  d.load_use_penalty = 3;  // local-store latency 6, partly hidden
+  d.taken_branch_penalty = 2;
+  d.mispredict_penalty = 18;
+
+  // Scalar ops pay the preferred-slot tax.
+  d.override_cost(Opcode::AddI32, 2);
+  d.override_cost(Opcode::SubI32, 2);
+  d.override_cost(Opcode::AndI32, 2);
+  d.override_cost(Opcode::OrI32, 2);
+  d.override_cost(Opcode::XorI32, 2);
+  d.override_cost(Opcode::ShlI32, 2);
+  d.override_cost(Opcode::MulI32, 4);
+  d.override_cost(Opcode::AddF32, 3);
+  d.override_cost(Opcode::MulF32, 3);
+  d.override_cost(Opcode::LoadI8U, 4);  // sub-word: rotate+mask from qword
+  d.override_cost(Opcode::LoadI16U, 4);
+  d.override_cost(Opcode::StoreI8, 4);
+  d.override_cost(Opcode::StoreI16, 4);
+  // Wide SIMD unit: fully pipelined vector ops.
+  d.override_cost(Opcode::VAddF32, 2);
+  d.override_cost(Opcode::VMulF32, 2);
+  d.override_cost(Opcode::VAddI8, 1);
+  d.override_cost(Opcode::VAddI16, 1);
+  d.override_cost(Opcode::VAddI32, 1);
+  d.override_cost(Opcode::VMaxU8, 1);
+  d.override_cost(Opcode::VMinU8, 1);
+  d.override_cost(MOp::FMA32, 3);
+  return d;
+}
+
+}  // namespace svc

@@ -1,0 +1,36 @@
+#include "targets/target_registry.h"
+
+#include <array>
+
+#include "support/diagnostics.h"
+
+namespace svc {
+
+const MachineDesc& target_desc(TargetKind kind) {
+  static const MachineDesc x86 = make_x86sim_desc();
+  static const MachineDesc sparc = make_sparcsim_desc();
+  static const MachineDesc ppc = make_ppcsim_desc();
+  static const MachineDesc spu = make_spusim_desc();
+  switch (kind) {
+    case TargetKind::X86Sim: return x86;
+    case TargetKind::SparcSim: return sparc;
+    case TargetKind::PpcSim: return ppc;
+    case TargetKind::SpuSim: return spu;
+  }
+  fatal("target_desc: unknown target");
+}
+
+std::span<const TargetKind> all_targets() {
+  static const std::array<TargetKind, 4> kAll = {
+      TargetKind::X86Sim, TargetKind::SparcSim, TargetKind::PpcSim,
+      TargetKind::SpuSim};
+  return kAll;
+}
+
+std::span<const TargetKind> table1_targets() {
+  static const std::array<TargetKind, 3> kTable1 = {
+      TargetKind::X86Sim, TargetKind::SparcSim, TargetKind::PpcSim};
+  return kTable1;
+}
+
+}  // namespace svc

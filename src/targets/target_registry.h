@@ -1,0 +1,27 @@
+// Registry of the simulated targets. Each target is defined in its own
+// translation unit (x86sim.cpp, ...) and exposes a factory; the registry
+// hands out stable const references so MachineDesc pointers can be used
+// as identities throughout a process.
+#pragma once
+
+#include <span>
+
+#include "targets/machine.h"
+
+namespace svc {
+
+[[nodiscard]] const MachineDesc& target_desc(TargetKind kind);
+
+/// The Table 1 triple plus the accelerator, in a stable order.
+[[nodiscard]] std::span<const TargetKind> all_targets();
+
+/// The three host-class targets of Table 1 (x86sim, sparcsim, ppcsim).
+[[nodiscard]] std::span<const TargetKind> table1_targets();
+
+// Factories (one per TU).
+[[nodiscard]] MachineDesc make_x86sim_desc();
+[[nodiscard]] MachineDesc make_sparcsim_desc();
+[[nodiscard]] MachineDesc make_ppcsim_desc();
+[[nodiscard]] MachineDesc make_spusim_desc();
+
+}  // namespace svc

@@ -1,0 +1,42 @@
+// x86sim: a CISC-flavored out-of-order-ish core with a 128-bit SIMD unit,
+// standing in for the paper's x86/SSE machine. Characteristics that drive
+// Table 1's shape on this target:
+//  - full SIMD: vector builtins select 1:1 onto 128-bit ops;
+//  - deep pipeline: expensive branch mispredictions (the scalar `max u8`
+//    kernel pays here; the branchless vmax.u8 does not);
+//  - good addressing: loads fold scale+offset cheaply (cost 2);
+//  - moderate architectural register count (16 minus reserved).
+#include "targets/target_registry.h"
+
+namespace svc {
+
+MachineDesc make_x86sim_desc() {
+  MachineDesc d;
+  d.kind = TargetKind::X86Sim;
+  d.name = "x86sim";
+  d.has_simd = true;
+  d.has_fma = false;
+  d.regs[static_cast<size_t>(RegClass::Int)] = 14;
+  d.regs[static_cast<size_t>(RegClass::Flt)] = 14;
+  d.regs[static_cast<size_t>(RegClass::Vec)] = 14;
+  d.load_use_penalty = 1;
+  d.taken_branch_penalty = 1;
+  d.mispredict_penalty = 14;
+
+  // Latency-ish tweaks: x86 forwards float adds in 3 (default), mul 4.
+  d.override_cost(Opcode::MulF32, 4);
+  d.override_cost(Opcode::MulF64, 4);
+  // cmov is a first-class instruction.
+  d.override_cost(Opcode::SelectI32, 1);
+  d.override_cost(Opcode::SelectF32, 1);
+  // Vector memory ops are throughput-limited (one 128-bit port).
+  d.override_cost(Opcode::LoadV128, 3);
+  d.override_cost(Opcode::StoreV128, 2);
+  // psadbw + movd + add: the u8 horizontal sum crosses to the scalar
+  // domain each iteration.
+  d.override_cost(Opcode::VRSumU8, 5);
+  d.override_cost(Opcode::VRSumU16, 6);
+  return d;
+}
+
+}  // namespace svc

@@ -1,0 +1,64 @@
+// Reference interpreter for SVIL. Defines the semantics of the virtual
+// ISA; every JIT target is differential-tested against it. Deliberately
+// simple and defensive: all memory accesses are bounds-checked, division
+// by zero and call-stack overflow trap, and a step budget guards against
+// runaway loops in tests.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bytecode/module.h"
+#include "vm/memory.h"
+#include "vm/value.h"
+
+namespace svc {
+
+enum class TrapKind : uint8_t {
+  None = 0,
+  OutOfBoundsMemory,
+  DivideByZero,
+  IntegerOverflow,
+  CallStackOverflow,
+  StepBudgetExceeded,
+  ExplicitTrap,
+};
+
+struct ExecResult {
+  std::optional<Value> value;  // set on normal return (Void -> Value{})
+  TrapKind trap = TrapKind::None;
+  uint64_t steps = 0;  // dynamic instruction count
+
+  [[nodiscard]] bool ok() const { return trap == TrapKind::None; }
+  [[nodiscard]] std::string trap_message() const;
+};
+
+class Interpreter {
+ public:
+  Interpreter(const Module& module, Memory& memory)
+      : module_(module), memory_(memory) {}
+
+  /// Maximum dynamic instructions before trapping (default 1<<30).
+  void set_step_budget(uint64_t steps) { step_budget_ = steps; }
+  void set_max_call_depth(uint32_t depth) { max_call_depth_ = depth; }
+
+  /// Runs function `func_idx` with `args` (must match the signature).
+  [[nodiscard]] ExecResult run(uint32_t func_idx,
+                               const std::vector<Value>& args);
+  /// Convenience: look up by name first.
+  [[nodiscard]] ExecResult run(std::string_view name,
+                               const std::vector<Value>& args);
+
+ private:
+  friend class FrameExecutor;
+  const Module& module_;
+  Memory& memory_;
+  uint64_t step_budget_ = uint64_t{1} << 30;
+  uint64_t steps_used_ = 0;
+  uint32_t max_call_depth_ = 256;
+  uint32_t call_depth_ = 0;
+};
+
+}  // namespace svc

@@ -1,0 +1,17 @@
+#include "vm/memory.h"
+
+#include "support/diagnostics.h"
+
+namespace svc {
+
+uint32_t BumpAllocator::alloc(uint32_t bytes) {
+  top_ = (top_ + 15u) & ~15u;
+  const uint32_t addr = top_;
+  if (!mem_.in_bounds(addr, bytes)) {
+    fatal("BumpAllocator: out of VM memory");
+  }
+  top_ += bytes;
+  return addr;
+}
+
+}  // namespace svc

@@ -1,0 +1,53 @@
+#include "vm/value.h"
+
+#include <sstream>
+
+namespace svc {
+
+Value Value::zero_of(Type t) {
+  Value v;
+  v.type = t;
+  v.i64 = 0;
+  v.v128 = V128{};
+  return v;
+}
+
+std::string Value::str() const {
+  std::ostringstream os;
+  switch (type) {
+    case Type::Void: os << "void"; break;
+    case Type::I32: os << i32 << ":i32"; break;
+    case Type::I64: os << i64 << ":i64"; break;
+    case Type::F32: os << f32 << ":f32"; break;
+    case Type::F64: os << f64 << ":f64"; break;
+    case Type::V128: {
+      os << "v128[";
+      for (size_t i = 0; i < 16; ++i) {
+        if (i) os << ' ';
+        os << static_cast<int>(v128.u8(i));
+      }
+      os << ']';
+      break;
+    }
+  }
+  return os.str();
+}
+
+bool operator==(const Value& a, const Value& b) {
+  if (a.type != b.type) return false;
+  switch (a.type) {
+    case Type::Void: return true;
+    case Type::I32: return a.i32 == b.i32;
+    case Type::I64: return a.i64 == b.i64;
+    // Bit equality on purpose: differential tests must distinguish NaN
+    // payloads and signed zeros identically across interpreter and JIT.
+    case Type::F32:
+      return std::bit_cast<uint32_t>(a.f32) == std::bit_cast<uint32_t>(b.f32);
+    case Type::F64:
+      return std::bit_cast<uint64_t>(a.f64) == std::bit_cast<uint64_t>(b.f64);
+    case Type::V128: return a.v128 == b.v128;
+  }
+  return false;
+}
+
+}  // namespace svc

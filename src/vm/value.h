@@ -1,0 +1,119 @@
+// Runtime values for the interpreter and the host API. A Value is a typed
+// 128-bit-wide scalar-or-vector; V128 carries raw bytes whose lane
+// interpretation is chosen by each opcode (as on real SIMD register files).
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "bytecode/type.h"
+
+namespace svc {
+
+struct V128 {
+  alignas(16) std::array<uint8_t, 16> bytes{};
+
+  [[nodiscard]] uint8_t u8(size_t lane) const { return bytes[lane]; }
+  void set_u8(size_t lane, uint8_t v) { bytes[lane] = v; }
+
+  [[nodiscard]] uint16_t u16(size_t lane) const {
+    uint16_t v;
+    std::memcpy(&v, bytes.data() + lane * 2, 2);
+    return v;
+  }
+  void set_u16(size_t lane, uint16_t v) {
+    std::memcpy(bytes.data() + lane * 2, &v, 2);
+  }
+
+  [[nodiscard]] uint32_t u32(size_t lane) const {
+    uint32_t v;
+    std::memcpy(&v, bytes.data() + lane * 4, 4);
+    return v;
+  }
+  void set_u32(size_t lane, uint32_t v) {
+    std::memcpy(bytes.data() + lane * 4, &v, 4);
+  }
+
+  [[nodiscard]] float f32(size_t lane) const {
+    return std::bit_cast<float>(u32(lane));
+  }
+  void set_f32(size_t lane, float v) {
+    set_u32(lane, std::bit_cast<uint32_t>(v));
+  }
+
+  static V128 splat_u8(uint8_t v) {
+    V128 r;
+    r.bytes.fill(v);
+    return r;
+  }
+  static V128 splat_u16(uint16_t v) {
+    V128 r;
+    for (size_t i = 0; i < 8; ++i) r.set_u16(i, v);
+    return r;
+  }
+  static V128 splat_u32(uint32_t v) {
+    V128 r;
+    for (size_t i = 0; i < 4; ++i) r.set_u32(i, v);
+    return r;
+  }
+  static V128 splat_f32(float v) {
+    return splat_u32(std::bit_cast<uint32_t>(v));
+  }
+
+  friend bool operator==(const V128&, const V128&) = default;
+};
+
+struct Value {
+  Type type = Type::Void;
+  union {
+    int32_t i32;
+    int64_t i64;
+    float f32;
+    double f64;
+  };
+  V128 v128;  // valid when type == V128
+
+  Value() : i64(0) {}
+
+  static Value make_i32(int32_t v) {
+    Value r;
+    r.type = Type::I32;
+    r.i32 = v;
+    return r;
+  }
+  static Value make_i64(int64_t v) {
+    Value r;
+    r.type = Type::I64;
+    r.i64 = v;
+    return r;
+  }
+  static Value make_f32(float v) {
+    Value r;
+    r.type = Type::F32;
+    r.f32 = v;
+    return r;
+  }
+  static Value make_f64(double v) {
+    Value r;
+    r.type = Type::F64;
+    r.f64 = v;
+    return r;
+  }
+  static Value make_v128(V128 v) {
+    Value r;
+    r.type = Type::V128;
+    r.v128 = v;
+    return r;
+  }
+  /// Zero value of a given type (used for local initialization).
+  static Value zero_of(Type t);
+
+  [[nodiscard]] std::string str() const;
+
+  friend bool operator==(const Value& a, const Value& b);
+};
+
+}  // namespace svc

@@ -1,0 +1,314 @@
+#include <gtest/gtest.h>
+
+#include "bytecode/disassembler.h"
+#include "bytecode/serializer.h"
+#include "test_util.h"
+
+namespace svc {
+namespace {
+
+using ::svc::testing::build_call_module;
+using ::svc::testing::build_scalar_saxpy;
+using ::svc::testing::build_vector_max_u8;
+
+TEST(OpcodeTable, EveryOpcodeHasSaneMetadata) {
+  for (size_t i = 0; i < kNumOpcodes; ++i) {
+    const auto op = static_cast<Opcode>(i);
+    const OpInfo& info = op_info(op);
+    EXPECT_FALSE(info.mnemonic.empty());
+    for (char c : info.pops) {
+      EXPECT_NE(type_from_code(c), Type::Void)
+          << info.mnemonic << " has bad pop code " << c;
+    }
+    EXPECT_LE(info.pushes.size(), 1u);
+    if (!info.pushes.empty()) {
+      EXPECT_NE(type_from_code(info.pushes[0]), Type::Void);
+    }
+    if (info.imm == ImmKind::Lane) {
+      EXPECT_GT(lane_count(info.lanes), 0u) << info.mnemonic;
+    }
+  }
+}
+
+TEST(OpcodeTable, MnemonicLookupRoundtrip) {
+  for (size_t i = 0; i < kNumOpcodes; ++i) {
+    const auto op = static_cast<Opcode>(i);
+    const auto found = opcode_from_mnemonic(op_mnemonic(op));
+    ASSERT_TRUE(found.has_value()) << op_mnemonic(op);
+    EXPECT_EQ(*found, op);
+  }
+}
+
+TEST(OpcodeTable, TerminatorsMarked) {
+  EXPECT_TRUE(is_terminator(Opcode::Jump));
+  EXPECT_TRUE(is_terminator(Opcode::BranchIf));
+  EXPECT_TRUE(is_terminator(Opcode::Ret));
+  EXPECT_TRUE(is_terminator(Opcode::Trap));
+  EXPECT_FALSE(is_terminator(Opcode::Call));
+  EXPECT_FALSE(is_terminator(Opcode::AddI32));
+}
+
+TEST(OpcodeTable, VectorOpsClassified) {
+  EXPECT_TRUE(is_vector_op(Opcode::VAddF32));
+  EXPECT_TRUE(is_vector_op(Opcode::LoadV128));
+  EXPECT_TRUE(is_vector_op(Opcode::VRSumU8));
+  EXPECT_FALSE(is_vector_op(Opcode::AddI32));
+  EXPECT_FALSE(is_vector_op(Opcode::LoadI32));
+}
+
+TEST(Types, SizesAndCodes) {
+  EXPECT_EQ(type_size(Type::I32), 4u);
+  EXPECT_EQ(type_size(Type::V128), 16u);
+  EXPECT_EQ(type_from_code(type_code(Type::F64)), Type::F64);
+  EXPECT_EQ(lane_count(LaneKind::U8x16), 16u);
+  EXPECT_EQ(lane_bytes(LaneKind::U16x8), 2u);
+  EXPECT_EQ(lane_scalar_type(LaneKind::F32x4), Type::F32);
+  EXPECT_EQ(lane_scalar_type(LaneKind::U8x16), Type::I32);
+}
+
+TEST(Verifier, AcceptsHandBuiltKernels) {
+  Module m;
+  m.add_function(build_scalar_saxpy());
+  m.add_function(build_vector_max_u8());
+  DiagnosticEngine diags;
+  EXPECT_TRUE(verify_module(m, diags)) << diags.dump();
+}
+
+TEST(Verifier, RejectsEmptyBlock) {
+  Module m;
+  FunctionBuilder b("f", {{}, Type::Void});
+  b.new_block();  // never filled
+  b.ret();
+  m.add_function(b.take());
+  DiagnosticEngine diags;
+  EXPECT_FALSE(verify_module(m, diags));
+  EXPECT_NE(diags.dump().find("empty"), std::string::npos);
+}
+
+TEST(Verifier, RejectsMissingTerminator) {
+  Module m;
+  FunctionBuilder b("f", {{}, Type::Void});
+  b.const_i32(1).op(Opcode::Drop);
+  m.add_function(b.take());
+  DiagnosticEngine diags;
+  EXPECT_FALSE(verify_module(m, diags));
+}
+
+TEST(Verifier, RejectsStackUnderflow) {
+  Module m;
+  FunctionBuilder b("f", {{}, Type::Void});
+  b.op(Opcode::AddI32).op(Opcode::Drop).ret();
+  m.add_function(b.take());
+  DiagnosticEngine diags;
+  EXPECT_FALSE(verify_module(m, diags));
+  EXPECT_NE(diags.dump().find("underflow"), std::string::npos);
+}
+
+TEST(Verifier, RejectsTypeMismatch) {
+  Module m;
+  FunctionBuilder b("f", {{}, Type::Void});
+  b.const_i32(1).const_f32(2.0f).op(Opcode::AddI32).op(Opcode::Drop).ret();
+  m.add_function(b.take());
+  DiagnosticEngine diags;
+  EXPECT_FALSE(verify_module(m, diags));
+  EXPECT_NE(diags.dump().find("expected i32"), std::string::npos);
+}
+
+TEST(Verifier, RejectsBadLocalIndex) {
+  Module m;
+  FunctionBuilder b("f", {{}, Type::Void});
+  b.get(5).op(Opcode::Drop).ret();
+  m.add_function(b.take());
+  DiagnosticEngine diags;
+  EXPECT_FALSE(verify_module(m, diags));
+  EXPECT_NE(diags.dump().find("local index"), std::string::npos);
+}
+
+TEST(Verifier, RejectsBadBranchTarget) {
+  Module m;
+  FunctionBuilder b("f", {{}, Type::Void});
+  b.jump(9);
+  m.add_function(b.take());
+  DiagnosticEngine diags;
+  EXPECT_FALSE(verify_module(m, diags));
+  EXPECT_NE(diags.dump().find("branch target"), std::string::npos);
+}
+
+TEST(Verifier, RejectsValueLeftOnStack) {
+  Module m;
+  FunctionBuilder b("f", {{}, Type::Void});
+  const uint32_t next = b.new_block();
+  b.const_i32(1).jump(next);
+  b.switch_to(next);
+  b.ret();
+  m.add_function(b.take());
+  DiagnosticEngine diags;
+  EXPECT_FALSE(verify_module(m, diags));
+  EXPECT_NE(diags.dump().find("stack"), std::string::npos);
+}
+
+TEST(Verifier, RejectsBadLaneIndex) {
+  Module m;
+  FunctionBuilder b("f", {{}, Type::I32});
+  b.op(Opcode::VZero).lane_op(Opcode::VExtractU8, 16).ret();
+  m.add_function(b.take());
+  DiagnosticEngine diags;
+  EXPECT_FALSE(verify_module(m, diags));
+  EXPECT_NE(diags.dump().find("lane"), std::string::npos);
+}
+
+TEST(Verifier, RejectsCallArgMismatch) {
+  Module m = build_call_module();
+  FunctionBuilder b("bad_caller", {{}, Type::I32});
+  b.const_f32(1.0f).const_i32(2).call(0).ret();  // add2 wants (i32, i32)
+  m.add_function(b.take());
+  DiagnosticEngine diags;
+  EXPECT_FALSE(verify_module(m, diags));
+}
+
+TEST(Verifier, RejectsWrongReturnType) {
+  Module m;
+  FunctionBuilder b("f", {{}, Type::F32});
+  b.const_i32(1).ret();
+  m.add_function(b.take());
+  DiagnosticEngine diags;
+  EXPECT_FALSE(verify_module(m, diags));
+}
+
+TEST(Verifier, RejectsNegativeMemOffset) {
+  Module m;
+  FunctionBuilder b("f", {{}, Type::I32});
+  b.const_i32(0).load(Opcode::LoadI32, -4).ret();
+  m.add_function(b.take());
+  DiagnosticEngine diags;
+  EXPECT_FALSE(verify_module(m, diags));
+  EXPECT_NE(diags.dump().find("offset"), std::string::npos);
+}
+
+TEST(Serializer, RoundtripPreservesEverything) {
+  Module m;
+  m.set_name("kernels");
+  m.set_memory_hint(1 << 16);
+  Function f = build_vector_max_u8();
+  SpillPriorityInfo prio;
+  prio.eviction_order = {2, 3, 0, 1};
+  prio.weights = {1, 2, 3, 4};
+  f.annotations().push_back(prio.encode());
+  m.add_function(std::move(f));
+  m.add_function(build_scalar_saxpy());
+
+  const std::vector<uint8_t> bytes = serialize_module(m);
+  const DeserializeResult result = deserialize_module(bytes);
+  ASSERT_TRUE(result.module.has_value()) << result.error;
+  const Module& got = *result.module;
+
+  EXPECT_EQ(got.name(), "kernels");
+  EXPECT_EQ(got.memory_hint(), uint64_t{1} << 16);
+  ASSERT_EQ(got.num_functions(), m.num_functions());
+  for (uint32_t i = 0; i < m.num_functions(); ++i) {
+    const Function& a = m.function(i);
+    const Function& b = got.function(i);
+    EXPECT_EQ(a.name(), b.name());
+    EXPECT_EQ(a.sig(), b.sig());
+    EXPECT_EQ(a.locals(), b.locals());
+    ASSERT_EQ(a.num_blocks(), b.num_blocks());
+    for (uint32_t bb = 0; bb < a.num_blocks(); ++bb) {
+      EXPECT_EQ(a.block(bb).insts, b.block(bb).insts) << "block " << bb;
+    }
+    EXPECT_EQ(a.annotations(), b.annotations());
+  }
+  // And the roundtripped module still verifies.
+  DiagnosticEngine diags;
+  EXPECT_TRUE(verify_module(got, diags)) << diags.dump();
+}
+
+TEST(Serializer, RejectsCorruptImage) {
+  Module m;
+  m.add_function(build_scalar_saxpy());
+  std::vector<uint8_t> bytes = serialize_module(m);
+  bytes[bytes.size() / 2] ^= 0x40;
+  const DeserializeResult result = deserialize_module(bytes);
+  EXPECT_FALSE(result.module.has_value());
+  EXPECT_NE(result.error.find("checksum"), std::string::npos);
+}
+
+TEST(Serializer, RejectsTruncatedImage) {
+  Module m;
+  m.add_function(build_scalar_saxpy());
+  std::vector<uint8_t> bytes = serialize_module(m);
+  bytes.resize(bytes.size() / 2);
+  EXPECT_FALSE(deserialize_module(bytes).module.has_value());
+}
+
+TEST(Serializer, RejectsBadMagic) {
+  std::vector<uint8_t> junk = {'J', 'U', 'N', 'K', 0, 0, 0, 0, 0, 0};
+  EXPECT_FALSE(deserialize_module(junk).module.has_value());
+}
+
+TEST(Annotations, VectorizedLoopRoundtrip) {
+  VectorizedLoopInfo info{3, 16, true};
+  const Annotation a = info.encode();
+  const auto got = VectorizedLoopInfo::decode(a.payload);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->header_block, 3u);
+  EXPECT_EQ(got->vector_factor, 16u);
+  EXPECT_TRUE(got->has_epilogue);
+}
+
+TEST(Annotations, SpillPriorityRoundtripAndCompact) {
+  SpillPriorityInfo info;
+  for (uint32_t i = 0; i < 20; ++i) {
+    info.eviction_order.push_back(19 - i);
+    info.weights.push_back(i * 7);
+  }
+  const Annotation a = info.encode();
+  // Compactness: ~1 byte per small entry plus headers.
+  EXPECT_LT(a.payload.size(), 64u);
+  const auto got = SpillPriorityInfo::decode(a.payload);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->eviction_order, info.eviction_order);
+  EXPECT_EQ(got->weights, info.weights);
+}
+
+TEST(Annotations, HardwareHintsRoundtrip) {
+  HardwareHintsInfo info{kFeatureSimd | kFeatureFloat, 85};
+  const auto got = HardwareHintsInfo::decode(info.encode().payload);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->features, info.features);
+  EXPECT_EQ(got->vector_intensity, 85u);
+}
+
+TEST(Annotations, DecodeRejectsTruncated) {
+  SpillPriorityInfo info;
+  info.eviction_order = {1, 2, 3};
+  info.weights = {4, 5, 6};
+  Annotation a = info.encode();
+  a.payload.resize(2);
+  EXPECT_FALSE(SpillPriorityInfo::decode(a.payload).has_value());
+}
+
+TEST(Annotations, FindAnnotation) {
+  std::vector<Annotation> anns;
+  anns.push_back(HardwareHintsInfo{kFeatureSimd, 10}.encode());
+  EXPECT_EQ(find_annotation(anns, AnnotationKind::SpillPriority), nullptr);
+  EXPECT_NE(find_annotation(anns, AnnotationKind::HardwareHints), nullptr);
+}
+
+TEST(Disassembler, ContainsStructure) {
+  const std::string text = disassemble(build_scalar_saxpy());
+  EXPECT_NE(text.find("fn saxpy(f32, i32, i32, i32)"), std::string::npos);
+  EXPECT_NE(text.find("bb0:"), std::string::npos);
+  EXPECT_NE(text.find("load.f32"), std::string::npos);
+  EXPECT_NE(text.find("br_if"), std::string::npos);
+  EXPECT_NE(text.find("mul.f32"), std::string::npos);
+}
+
+TEST(Module, FindFunction) {
+  Module m = build_call_module();
+  EXPECT_EQ(m.find_function("add2"), std::optional<uint32_t>(0));
+  EXPECT_EQ(m.find_function("combine"), std::optional<uint32_t>(1));
+  EXPECT_FALSE(m.find_function("nope").has_value());
+}
+
+}  // namespace
+}  // namespace svc

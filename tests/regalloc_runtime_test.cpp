@@ -1,0 +1,294 @@
+// Register-allocation analyses, allocator quality ordering, the
+// heterogeneous runtime (SoC / mapper / dataflow / iterative driver), and
+// robustness sweeps (serializer fuzzing, random-program differential).
+#include <gtest/gtest.h>
+
+#include "bytecode/serializer.h"
+#include "driver/kernels.h"
+#include "driver/offline_compiler.h"
+#include "jit/stack_to_reg.h"
+#include "regalloc/interference.h"
+#include "regalloc/split_alloc.h"
+#include "runtime/dataflow.h"
+#include "runtime/iterative.h"
+#include "runtime/mapper.h"
+#include "test_util.h"
+
+namespace svc {
+namespace {
+
+using namespace ::svc::testing;
+
+MFunction translated(const Module& m) { return stack_to_reg(m, m.function(0)); }
+
+TEST(Liveness, LoopKeepsInductionLive) {
+  Module m;
+  m.add_function(build_scalar_saxpy());
+  const MFunction mf = translated(m);
+  const Liveness live = compute_liveness(mf);
+  // The induction variable (a local) is live into the loop header
+  // (block 1) and out of the body (block 2).
+  const Reg iv = mf.local_regs[4][0];
+  EXPECT_TRUE(live.live_in(1, vreg_key(iv)));
+  EXPECT_TRUE(live.live_out(2, vreg_key(iv)));
+}
+
+TEST(Liveness, IntervalsCoverDefsAndUses) {
+  Module m;
+  m.add_function(build_high_pressure());
+  const MFunction mf = translated(m);
+  const LinearOrder order = linearize(mf);
+  const Liveness live = compute_liveness(mf);
+  const auto intervals = build_intervals(mf, order, &live);
+  EXPECT_GE(intervals.size(), 16u);
+  for (const auto& iv : intervals) {
+    EXPECT_LE(iv.start, iv.end);
+    EXPECT_LT(iv.end, order.total);
+  }
+}
+
+TEST(Liveness, NaiveModeIsMoreConservative) {
+  Module m;
+  m.add_function(build_scalar_saxpy());
+  const MFunction mf = translated(m);
+  const LinearOrder order = linearize(mf);
+  const Liveness live = compute_liveness(mf);
+  const auto precise = build_intervals(mf, order, &live);
+  const auto naive = build_intervals(mf, order, nullptr);
+  uint64_t precise_len = 0, naive_len = 0;
+  for (const auto& iv : precise) precise_len += iv.end - iv.start;
+  for (const auto& iv : naive) naive_len += iv.end - iv.start;
+  EXPECT_GE(naive_len, precise_len);
+}
+
+TEST(Interference, PressureFunctionIsClique) {
+  Module m;
+  m.add_function(build_high_pressure());
+  const MFunction mf = translated(m);
+  const Liveness live = compute_liveness(mf);
+  const InterferenceGraph graph = build_interference(mf, live);
+  // The 16 simultaneously-live locals must pairwise interfere.
+  const Reg a = mf.local_regs[1][0];
+  const Reg b = mf.local_regs[16][0];
+  EXPECT_TRUE(graph.interferes(vreg_key(a), vreg_key(b)));
+  EXPECT_GE(graph.num_edges(), 16u * 15u / 2u);
+}
+
+TEST(Allocators, QualityOrderingHolds) {
+  // chaitin <= linear-scan <= split <= naive in static spills on the
+  // pressure suite.
+  Module m;
+  Function fn = build_high_pressure();
+  annotate_spill_priorities(fn);
+  m.add_function(std::move(fn));
+  const MachineDesc& desc = target_desc(TargetKind::SparcSim);
+  auto spills = [&](AllocPolicy p) {
+    JitCompiler jit(desc, {p, true});
+    Statistics stats;
+    (void)jit.compile_module(m, &stats);
+    return stats.get("jit.static_spill_loads") +
+           stats.get("jit.static_spill_stores");
+  };
+  const auto naive = spills(AllocPolicy::NaiveOnline);
+  const auto split = spills(AllocPolicy::SplitGuided);
+  const auto lscan = spills(AllocPolicy::LinearScan);
+  const auto chaitin = spills(AllocPolicy::OfflineChaitin);
+  EXPECT_LE(chaitin, lscan);
+  EXPECT_LE(split, naive);
+}
+
+TEST(SplitAlloc, RanksLongLivedColdLocalsFirst) {
+  // A local used once over a long span must rank as a better spill
+  // candidate than the loop induction variable.
+  const char* src =
+      "fn f(p: *i32, n: i32) -> i32 {"
+      "  var cold: i32 = p[0];"
+      "  var s: i32 = 0;"
+      "  var i: i32 = 0;"
+      "  while (i < n) { s = s + p[i]; i = i + 1; }"
+      "  return s + cold;"
+      "}";
+  OfflineOptions opts;
+  opts.vectorize = false;
+  const Module m = compile_or_die(src, opts);
+  const auto* ann = find_annotation(m.function(0).annotations(),
+                                    AnnotationKind::SpillPriority);
+  ASSERT_NE(ann, nullptr);
+  const auto prio = SpillPriorityInfo::decode(ann->payload);
+  ASSERT_TRUE(prio.has_value());
+  ASSERT_GE(prio->weights.size(), 2u);
+  // Weights ascend by construction (eviction order = coldest first).
+  for (size_t i = 1; i < prio->weights.size(); ++i) {
+    EXPECT_LE(prio->weights[i - 1], prio->weights[i]);
+  }
+}
+
+TEST(Mapper, VectorKernelPrefersSimdCoreControlStaysHost) {
+  const std::string source =
+      std::string(fir_source()) + std::string(control_kernel().source);
+  const Module module = compile_or_die(source);
+  Soc soc({{TargetKind::PpcSim, false}, {TargetKind::SpuSim, true}}, 1 << 20);
+  soc.load(module);
+  const auto fir_idx = module.find_function("fir4");
+  const auto ctl_idx = module.find_function("count_runs");
+  ASSERT_TRUE(fir_idx && ctl_idx);
+  EXPECT_EQ(choose_core(soc, module.function(*fir_idx)), 1u);
+  EXPECT_EQ(choose_core(soc, module.function(*ctl_idx)), 0u);
+}
+
+TEST(Mapper, MissingAnnotationsFallBackGracefully) {
+  Module m;
+  m.add_function(build_scalar_saxpy());  // no annotations at all
+  Soc soc({{TargetKind::PpcSim, false}, {TargetKind::SpuSim, true}}, 1 << 16);
+  soc.load(m);
+  // No crash, host preferred (accelerator pays the DMA bias).
+  EXPECT_EQ(choose_core(soc, m.function(0)), 0u);
+}
+
+TEST(Dataflow, PipelineTimingModel) {
+  const Module module = compile_or_die(fir_source());
+  Soc soc({{TargetKind::PpcSim, false}, {TargetKind::SpuSim, true}}, 1 << 20);
+  soc.load(module);
+  for (int i = 0; i < 300; ++i) {
+    soc.memory().write_f32(256 + 4 * static_cast<uint32_t>(i), 0.5f);
+  }
+  Pipeline pipeline(soc);
+  pipeline.add_stage({"gain", 0, 0, [&]() {
+                        return soc.run_on(0, "gain",
+                                          {Value::make_i32(256),
+                                           Value::make_i32(256),
+                                           Value::make_f32(2.0f)});
+                      }});
+  pipeline.add_stage({"energy", 1, 1024, [&]() {
+                        return soc.run_on(1, "energy",
+                                          {Value::make_i32(256),
+                                           Value::make_i32(256)});
+                      }});
+  const PipelineReport report = pipeline.run(10);
+  ASSERT_EQ(report.stages.size(), 2u);
+  EXPECT_EQ(report.stages[0].dma_cycles, 0u);       // host stage: no DMA
+  EXPECT_GT(report.stages[1].dma_cycles, 0u);       // accelerator pays DMA
+  EXPECT_EQ(report.latency_cycles, report.stages[0].total_cycles() +
+                                       report.stages[1].total_cycles());
+  EXPECT_EQ(report.steady_total_cycles,
+            report.latency_cycles + 9 * report.bottleneck_cycles());
+}
+
+TEST(Iterative, FindsVectorizationOnSimdTarget) {
+  const KernelInfo& k = table1_kernels()[2];  // dscal
+  const TuneResult result =
+      tune(k.source, TargetKind::X86Sim, [&](OnlineTarget& target) {
+        Memory mem(1 << 20);
+        for (int i = 0; i < 512; ++i) {
+          mem.write_f32(1024 + 4 * static_cast<uint32_t>(i), 1.0f);
+        }
+        const SimResult r = target.run(
+            k.fn_name,
+            {Value::make_f32(0.5f), Value::make_i32(1024),
+             Value::make_i32(512)},
+            mem);
+        return r.ok() ? r.stats.cycles : UINT64_MAX;
+      });
+  EXPECT_TRUE(result.best.config.vectorize);
+  EXPECT_EQ(result.all.size(), 8u);
+}
+
+TEST(Serializer, FuzzCorruptImagesNeverCrash) {
+  Module m;
+  for (const KernelInfo& k : table1_kernels()) {
+    Module km = compile_or_die(k.source);
+    m.add_function(km.function(0));
+  }
+  std::vector<uint8_t> image = serialize_module(m);
+  Rng rng(2024);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<uint8_t> corrupt = image;
+    const int flips = 1 + static_cast<int>(rng.next_below(4));
+    for (int f = 0; f < flips; ++f) {
+      corrupt[rng.next_below(corrupt.size())] ^=
+          static_cast<uint8_t>(1 + rng.next_below(255));
+    }
+    // Either rejected or, if the CRC happens to still match, the module
+    // must pass or fail the verifier without crashing.
+    const DeserializeResult r = deserialize_module(corrupt);
+    if (r.module) {
+      DiagnosticEngine diags;
+      (void)verify_module(*r.module, diags);
+    }
+  }
+  // Truncations at every length must be rejected cleanly.
+  for (size_t len = 0; len < image.size(); len += 7) {
+    std::vector<uint8_t> truncated(image.begin(),
+                                   image.begin() + static_cast<long>(len));
+    EXPECT_FALSE(deserialize_module(truncated).module.has_value());
+  }
+}
+
+TEST(Property, RandomStraightLineProgramsMatchAcrossTargets) {
+  // Random arithmetic DAGs over i32/f32 locals: interpreter vs all JITs.
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    FunctionBuilder b("rand", {{Type::I32, Type::I32, Type::F32}, Type::I32});
+    std::vector<uint32_t> ints = {0, 1};
+    std::vector<uint32_t> flts = {2};
+    const int ops = 10 + static_cast<int>(rng.next_below(30));
+    for (int i = 0; i < ops; ++i) {
+      if (rng.next_bool()) {
+        const uint32_t l = b.add_local(Type::I32);
+        const Opcode choices[] = {Opcode::AddI32, Opcode::SubI32,
+                                  Opcode::MulI32, Opcode::XorI32,
+                                  Opcode::MinSI32, Opcode::MaxUI32,
+                                  Opcode::ShlI32, Opcode::ShrUI32};
+        b.get(ints[rng.next_below(ints.size())])
+            .get(ints[rng.next_below(ints.size())])
+            .op(choices[rng.next_below(8)])
+            .set(l);
+        ints.push_back(l);
+      } else {
+        const uint32_t l = b.add_local(Type::F32);
+        const Opcode choices[] = {Opcode::AddF32, Opcode::SubF32,
+                                  Opcode::MulF32, Opcode::MinF32,
+                                  Opcode::MaxF32};
+        b.get(flts[rng.next_below(flts.size())])
+            .get(flts[rng.next_below(flts.size())])
+            .op(choices[rng.next_below(5)])
+            .set(l);
+        flts.push_back(l);
+      }
+    }
+    // Fold everything into one result.
+    b.get(ints.back());
+    b.get(flts.back()).op(Opcode::F32ToI32S).op(Opcode::XorI32);
+    b.ret();
+    Module m;
+    m.add_function(b.take());
+    run_differential(
+        m, "rand",
+        {Value::make_i32(static_cast<int32_t>(rng.next_u32())),
+         Value::make_i32(static_cast<int32_t>(rng.next_u32())),
+         Value::make_f32(rng.next_f32() * 100.0f)},
+        [](Memory&) {});
+  }
+}
+
+TEST(Soc, SharedMemoryVisibleAcrossCores) {
+  const Module module = compile_or_die(fir_source());
+  Soc soc({{TargetKind::X86Sim, false}, {TargetKind::SparcSim, false}},
+          1 << 16);
+  soc.load(module);
+  for (int i = 0; i < 64; ++i) {
+    soc.memory().write_f32(256 + 4 * static_cast<uint32_t>(i), 1.0f);
+  }
+  // Core 0 scales in place; core 1 must observe the result.
+  const SimResult w = soc.run_on(0, "gain",
+                                 {Value::make_i32(256), Value::make_i32(64),
+                                  Value::make_f32(3.0f)});
+  ASSERT_TRUE(w.ok());
+  const SimResult r = soc.run_on(1, "energy",
+                                 {Value::make_i32(256), Value::make_i32(64)});
+  ASSERT_TRUE(r.ok());
+  EXPECT_FLOAT_EQ(r.value.f32, 64.0f * 9.0f);
+}
+
+}  // namespace
+}  // namespace svc

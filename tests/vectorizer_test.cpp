@@ -1,0 +1,303 @@
+// Vectorizer-specific tests: which loops must transform, which must be
+// declined (safety bail-outs), and that declined or transformed loops are
+// always still correct end to end. The bail-out cases are the dependence
+// and shape hazards a production vectorizer must refuse.
+#include <gtest/gtest.h>
+
+#include "bytecode/disassembler.h"
+#include "driver/kernels.h"
+#include "driver/offline_compiler.h"
+#include "frontend/irgen.h"
+#include "frontend/parser.h"
+#include "ir/passes.h"
+#include "ir/vectorizer.h"
+#include "test_util.h"
+
+namespace svc {
+namespace {
+
+/// Compiles and reports how many loops were vectorized.
+int64_t vectorized_loops(std::string_view src) {
+  Statistics stats;
+  DiagnosticEngine diags;
+  auto m = compile_source(src, {}, diags, &stats);
+  EXPECT_TRUE(m.has_value()) << diags.dump();
+  return stats.get("offline.loops_vectorized");
+}
+
+/// Runs `fn_name` of compiled `src` on interpreter + all targets and
+/// checks identical results (whatever the vectorizer decided).
+void check_correct(std::string_view src, std::string_view fn_name,
+                   const std::vector<Value>& args,
+                   const std::function<void(Memory&)>& setup) {
+  const Module m = compile_or_die(src);
+  svc::testing::run_differential(m, fn_name, args, setup);
+}
+
+TEST(Vectorizer, OffsetAccessVectorizes) {
+  // in[i + 1]: the dependence test must decompose the displaced index.
+  const char* src = R"(
+    fn shift(out: *f32, in: *f32, n: i32) {
+      var i: i32 = 0;
+      while (i < n) {
+        out[i] = in[i + 1];
+        i = i + 1;
+      }
+    }
+  )";
+  EXPECT_EQ(vectorized_loops(src), 1);
+  check_correct(src, "shift",
+                {Value::make_i32(1024), Value::make_i32(8192),
+                 Value::make_i32(33)},
+                [](Memory& mem) {
+                  for (int i = 0; i < 40; ++i) {
+                    mem.write_f32(8192 + 4 * static_cast<uint32_t>(i),
+                                  1.5f * i);
+                  }
+                });
+}
+
+TEST(Vectorizer, FirStyleTwoTapVectorizes) {
+  EXPECT_GE(vectorized_loops(fir_source()), 3);
+}
+
+TEST(Vectorizer, F32SumUsesVectorAccumulator) {
+  const char* src = R"(
+    fn fsum(x: *f32, n: i32) -> f32 {
+      var s: f32 = 0.0;
+      var i: i32 = 0;
+      while (i < n) { s = s + x[i]; i = i + 1; }
+      return s;
+    }
+  )";
+  EXPECT_EQ(vectorized_loops(src), 1);
+  const Module m = compile_or_die(src);
+  const std::string text = disassemble(m);
+  EXPECT_NE(text.find("v.add.f32"), std::string::npos);
+  EXPECT_NE(text.find("v.rsum.f32"), std::string::npos);
+  check_correct(src, "fsum", {Value::make_i32(4096), Value::make_i32(25)},
+                [](Memory& mem) {
+                  for (int i = 0; i < 32; ++i) {
+                    mem.write_f32(4096 + 4 * static_cast<uint32_t>(i),
+                                  0.125f * i);
+                  }
+                });
+}
+
+TEST(Vectorizer, MinReductionVectorizes) {
+  const char* src = R"(
+    fn bmin(p: *u8, n: i32) -> i32 {
+      var m: i32 = 255;
+      var i: i32 = 0;
+      while (i < n) { m = min_u(m, p[i]); i = i + 1; }
+      return m;
+    }
+  )";
+  EXPECT_EQ(vectorized_loops(src), 1);
+  check_correct(src, "bmin", {Value::make_i32(2048), Value::make_i32(77)},
+                [](Memory& mem) {
+                  Rng rng(5);
+                  for (int i = 0; i < 80; ++i) {
+                    mem.store_u8(2048 + static_cast<uint32_t>(i),
+                                 static_cast<uint8_t>(64 + rng.next_below(64)));
+                  }
+                });
+}
+
+// --- bail-outs: all must decline AND stay correct ------------------------
+
+TEST(VectorizerBail, NonUnitStride) {
+  const char* src = R"(
+    fn strided(x: *f32, n: i32) {
+      var i: i32 = 0;
+      while (i < n) { x[i * 2] = 1.0; i = i + 1; }
+    }
+  )";
+  EXPECT_EQ(vectorized_loops(src), 0);
+}
+
+TEST(VectorizerBail, SameBaseShiftedStore) {
+  // x[i+1] = x[i]: a loop-carried dependence (distance 1); vectorizing
+  // would propagate x[0] through the whole vector. Must decline.
+  const char* src = R"(
+    fn prop(x: *f32, n: i32) {
+      var i: i32 = 0;
+      while (i < n) { x[i + 1] = x[i]; i = i + 1; }
+    }
+  )";
+  EXPECT_EQ(vectorized_loops(src), 0);
+  check_correct(src, "prop", {Value::make_i32(1024), Value::make_i32(20)},
+                [](Memory& mem) {
+                  for (int i = 0; i < 24; ++i) {
+                    mem.write_f32(1024 + 4 * static_cast<uint32_t>(i),
+                                  static_cast<float>(i));
+                  }
+                });
+}
+
+TEST(VectorizerBail, InductionUsedAsData) {
+  const char* src = R"(
+    fn iota(x: *i32, n: i32) {
+      var i: i32 = 0;
+      while (i < n) { x[i] = i; i = i + 1; }
+    }
+  )";
+  EXPECT_EQ(vectorized_loops(src), 0);
+}
+
+TEST(VectorizerBail, CallInLoop) {
+  const char* src = R"(
+    fn sq(v: f32) -> f32 { return v * v; }
+    fn apply(x: *f32, n: i32) {
+      var i: i32 = 0;
+      while (i < n) { x[i] = sq(x[i]); i = i + 1; }
+    }
+  )";
+  EXPECT_EQ(vectorized_loops(src), 0);
+}
+
+TEST(VectorizerBail, BranchyBody) {
+  // Two-block body (data-dependent if) without if-conversion.
+  EXPECT_EQ(vectorized_loops(branchy_max_kernel().source), 0);
+}
+
+TEST(VectorizerBail, F64Loop) {
+  // v128 has no f64 lanes; must stay scalar and correct.
+  const char* src = R"(
+    fn dsum(x: *f64, n: i32) -> f64 {
+      var s: f64 = 0.0;
+      var i: i32 = 0;
+      while (i < n) { s = s + x[i]; i = i + 1; }
+      return s;
+    }
+  )";
+  EXPECT_EQ(vectorized_loops(src), 0);
+}
+
+TEST(VectorizerBail, NarrowArithmeticOtherThanMinMax) {
+  // u8 add feeding a store would need wraparound-preserving lanes; the
+  // conservative rule declines (only min/max elementwise on narrow lanes).
+  const char* src = R"(
+    fn badd(c: *u8, a: *u8, b: *u8, n: i32) {
+      var i: i32 = 0;
+      while (i < n) { c[i] = a[i] + b[i]; i = i + 1; }
+    }
+  )";
+  EXPECT_EQ(vectorized_loops(src), 0);
+  check_correct(src, "badd",
+                {Value::make_i32(512), Value::make_i32(1024),
+                 Value::make_i32(2048), Value::make_i32(50)},
+                [](Memory& mem) {
+                  Rng rng(3);
+                  for (int i = 0; i < 64; ++i) {
+                    mem.store_u8(1024 + static_cast<uint32_t>(i),
+                                 static_cast<uint8_t>(rng.next_u32()));
+                    mem.store_u8(2048 + static_cast<uint32_t>(i),
+                                 static_cast<uint8_t>(rng.next_u32()));
+                  }
+                });
+}
+
+TEST(VectorizerBail, MaxWithUnprovableInit) {
+  // Reduction seed comes from memory: cannot prove it fits u8 lanes.
+  const char* src = R"(
+    fn maxseed(p: *u8, n: i32, seed: i32) -> i32 {
+      var m: i32 = seed;
+      var i: i32 = 0;
+      while (i < n) { m = max_u(m, p[i]); i = i + 1; }
+      return m;
+    }
+  )";
+  EXPECT_EQ(vectorized_loops(src), 0);
+  // And it must be correct with a seed ABOVE the lane range.
+  check_correct(src, "maxseed",
+                {Value::make_i32(1024), Value::make_i32(40),
+                 Value::make_i32(1000)},
+                [](Memory& mem) {
+                  for (int i = 0; i < 48; ++i) {
+                    mem.store_u8(1024 + static_cast<uint32_t>(i),
+                                 static_cast<uint8_t>(i));
+                  }
+                });
+}
+
+TEST(VectorizerBail, ValueEscapingLoop) {
+  // The last element value is observed after the loop; the vector body
+  // would leave a different temp behind. Must decline.
+  const char* src = R"(
+    fn escape(x: *f32, n: i32) -> f32 {
+      var last: f32 = 0.0;
+      var i: i32 = 0;
+      while (i < n) { last = x[i]; i = i + 1; }
+      return last;
+    }
+  )";
+  EXPECT_EQ(vectorized_loops(src), 0);
+}
+
+TEST(Vectorizer, EpilogueHandlesAllRemainders) {
+  // Property sweep: n from 0..40 over a map and a reduction kernel, all
+  // results must equal the scalar build's results.
+  const std::string_view mapk = table1_kernels()[2].source;  // dscal
+  const std::string_view redk = table1_kernels()[4].source;  // sum u8
+  OfflineOptions scalar_opts;
+  scalar_opts.vectorize = false;
+  const Module mv = compile_or_die(mapk);
+  const Module ms = compile_or_die(mapk, scalar_opts);
+  const Module rv = compile_or_die(redk);
+  const Module rs = compile_or_die(redk, scalar_opts);
+  for (int n = 0; n <= 40; ++n) {
+    // dscal: compare memory.
+    Memory m1(1 << 16), m2(1 << 16);
+    for (int i = 0; i < 64; ++i) {
+      m1.write_f32(1024 + 4 * static_cast<uint32_t>(i), 1.0f + i);
+      m2.write_f32(1024 + 4 * static_cast<uint32_t>(i), 1.0f + i);
+    }
+    Interpreter i1(mv, m1), i2(ms, m2);
+    const std::vector<Value> dargs = {Value::make_f32(0.5f),
+                                      Value::make_i32(1024),
+                                      Value::make_i32(n)};
+    ASSERT_TRUE(i1.run("dscal", dargs).ok()) << n;
+    ASSERT_TRUE(i2.run("dscal", dargs).ok()) << n;
+    ASSERT_TRUE(std::equal(m1.bytes().begin(), m1.bytes().end(),
+                           m2.bytes().begin()))
+        << "dscal n=" << n;
+    // sum u8: compare values.
+    Memory m3(1 << 16);
+    Rng rng(static_cast<uint64_t>(n));
+    for (int i = 0; i < 64; ++i) {
+      m3.store_u8(2048 + static_cast<uint32_t>(i),
+                  static_cast<uint8_t>(rng.next_u32()));
+    }
+    Interpreter i3(rv, m3), i4(rs, m3);
+    const std::vector<Value> rargs = {Value::make_i32(2048),
+                                      Value::make_i32(n)};
+    const auto a = i3.run("sum_u8", rargs);
+    const auto b = i4.run("sum_u8", rargs);
+    ASSERT_TRUE(a.ok() && b.ok()) << n;
+    EXPECT_EQ(a.value->i32, b.value->i32) << "sum_u8 n=" << n;
+  }
+}
+
+TEST(Vectorizer, AnnotationMatchesTransform) {
+  const Module m = compile_or_die(table1_kernels()[0].source);
+  const auto* ann = find_annotation(m.function(0).annotations(),
+                                    AnnotationKind::VectorizedLoop);
+  ASSERT_NE(ann, nullptr);
+  const auto info = VectorizedLoopInfo::decode(ann->payload);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->vector_factor, 4u);  // f32 lanes
+  EXPECT_TRUE(info->has_epilogue);
+  EXPECT_LT(info->header_block, m.function(0).num_blocks());
+}
+
+TEST(Vectorizer, U16FactorIsEight) {
+  const Module m = compile_or_die(table1_kernels()[5].source);  // sum u16
+  const auto* ann = find_annotation(m.function(0).annotations(),
+                                    AnnotationKind::VectorizedLoop);
+  ASSERT_NE(ann, nullptr);
+  EXPECT_EQ(VectorizedLoopInfo::decode(ann->payload)->vector_factor, 8u);
+}
+
+}  // namespace
+}  // namespace svc
