@@ -27,7 +27,9 @@ int main() {
     return r.ok() ? r.stats.cycles : UINT64_MAX;
   };
 
-  std::printf("tuning '%s' over 8 configurations per core:\n\n",
+  // The search space is the "classic8" preset: each point is a named
+  // offline pipeline spec (the knobs of old, now pipeline-as-data).
+  std::printf("tuning '%s' over the classic8 preset per core:\n\n",
               std::string(kernel.name).c_str());
   for (TargetKind kind : all_targets()) {
     const TuneResult result = tune(kernel.source, kind, workload);
@@ -37,6 +39,8 @@ int main() {
       std::printf("  %-18s %9.1fk cycles%s\n", c.config.str().c_str(),
                   c.cycles / 1000.0, best ? "   <== best" : "");
     }
+    std::printf("  winning pipeline: %s\n",
+                result.best.config.pipeline.str().c_str());
   }
   std::printf("\nEach core picked its own configuration -- the decision "
               "could only be\nmade after deployment, i.e. below the "

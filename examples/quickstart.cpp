@@ -14,6 +14,7 @@
 #include "bytecode/verifier.h"
 #include "driver/offline_compiler.h"
 #include "driver/online_compiler.h"
+#include "ir/ir_pipeline.h"
 
 using namespace svc;
 
@@ -40,6 +41,18 @@ int main() {
   std::printf("offline: vectorized %lld loop(s) in %lld us\n",
               static_cast<long long>(stats.get("offline.loops_vectorized")),
               static_cast<long long>(stats.get("offline.compile_us")));
+
+  // The offline schedule is data (see ir/ir_pipeline.h): every pass the
+  // manager ran reported its own wall time.
+  std::printf("offline pipeline: %s\n",
+              default_ir_pipeline({}, true).str().c_str());
+  for (const auto& [key, value] : stats.all()) {
+    constexpr std::string_view kPrefix = "offline.pass_us.";
+    if (key.compare(0, kPrefix.size(), kPrefix) == 0) {
+      std::printf("  %-12s %4lld us\n", key.c_str() + kPrefix.size(),
+                  static_cast<long long>(value));
+    }
+  }
 
   // 3. One deployment image for every device.
   const std::vector<uint8_t> image = serialize_module(*module);

@@ -6,6 +6,7 @@
 #include "bytecode/verifier.h"
 #include "frontend/irgen.h"
 #include "frontend/parser.h"
+#include "ir/ir_pipeline.h"
 #include "ir/lower_bytecode.h"
 #include "ir/vectorizer.h"
 #include "regalloc/split_alloc.h"
@@ -72,32 +73,23 @@ std::optional<Module> compile_source(std::string_view source,
   auto ir_fns = generate_ir(*program, diags);
   if (!ir_fns) return std::nullopt;
 
+  const PipelineSpec spec =
+      options.pipeline
+          ? *options.pipeline
+          : default_ir_pipeline(options.passes, options.vectorize);
+  if (const auto unknown = ir_pass_manager().first_unknown(spec)) {
+    diags.error({}, "unknown IR pass '" + *unknown + "' in pipeline '" +
+                        spec.str() + "'");
+    return std::nullopt;
+  }
+
   Module module;
   for (IRFunction& ir : *ir_fns) {
-    const PassStats pass_stats = run_passes(ir, options.passes);
-    if (stats) {
-      stats->add("offline.folded", pass_stats.folded);
-      stats->add("offline.simplified", pass_stats.simplified);
-      stats->add("offline.dce_removed", pass_stats.dce_removed);
-      stats->add("offline.if_converted", pass_stats.if_converted);
-    }
-
-    VectorizeStats vstats;
-    if (options.vectorize) {
-      vstats = vectorize(ir);
-      // Vectorization introduces new values; clean up again.
-      run_passes(ir, options.passes);
-      if (stats) {
-        stats->add("offline.loops_vectorized", vstats.loops_vectorized);
-        stats->add("offline.widening_reductions",
-                   vstats.widening_reductions);
-        stats->add("offline.accumulator_reductions",
-                   vstats.accumulator_reductions);
-      }
-    }
+    IRPipelineContext ctx;
+    ir_pass_manager().run(spec, ir, ctx, stats);
 
     Function fn = lower_to_bytecode(ir);
-    for (const auto& [header, vf] : vstats.vectorized_headers) {
+    for (const auto& [header, vf] : ctx.vec_stats.vectorized_headers) {
       fn.annotations().push_back(
           VectorizedLoopInfo{header, vf, true}.encode());
     }

@@ -13,6 +13,7 @@
 #include "bytecode/module.h"
 #include "ir/passes.h"
 #include "support/diagnostics.h"
+#include "support/pass_manager.h"
 #include "support/statistics.h"
 
 namespace svc {
@@ -22,6 +23,10 @@ struct OfflineOptions {
   bool vectorize = true;
   bool annotate_spill_priorities = true;
   bool annotate_hardware_hints = true;
+  // Explicit IR pipeline (names from ir/ir_pipeline.h). When set it
+  // replaces the schedule derived from `passes` + `vectorize`; unknown
+  // pass names are reported through the DiagnosticEngine.
+  std::optional<PipelineSpec> pipeline;
 };
 
 /// Compiles MiniC `source` into a deployable module. Returns nullopt with

@@ -24,7 +24,35 @@ std::map<ValueId, int64_t> const_map(const IRFunction& fn) {
   return consts;
 }
 
-uint32_t fold_pass(IRFunction& fn) {
+bool has_side_effects(const IRInst& inst) {
+  const OpInfo& info = op_info(inst.op);
+  switch (info.category) {
+    case OpCategory::Store:
+    case OpCategory::Control:
+    case OpCategory::Call:
+      return true;
+    case OpCategory::Load:
+      return true;  // loads can trap out-of-bounds; keep them
+    case OpCategory::IntArith:
+      // Division can trap.
+      switch (inst.op) {
+        case Opcode::DivSI32:
+        case Opcode::DivUI32:
+        case Opcode::RemSI32:
+        case Opcode::RemUI32:
+        case Opcode::DivSI64:
+          return true;
+        default:
+          return false;
+      }
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+uint32_t run_fold_pass(IRFunction& fn) {
   const auto consts = const_map(fn);
   uint32_t folded = 0;
   auto cval = [&](ValueId v) -> std::optional<int64_t> {
@@ -71,7 +99,7 @@ uint32_t fold_pass(IRFunction& fn) {
   return folded;
 }
 
-uint32_t simplify_pass(IRFunction& fn) {
+uint32_t run_simplify_pass(IRFunction& fn) {
   const auto consts = const_map(fn);
   uint32_t simplified = 0;
   auto cval = [&](ValueId v) -> std::optional<int64_t> {
@@ -148,7 +176,7 @@ uint32_t simplify_pass(IRFunction& fn) {
 /// frontend's assignment pattern so induction updates become
 /// `i = add(i, 1)` and reductions `r = op(r, e)` -- the shapes the
 /// vectorizer and induction analysis match on.
-uint32_t coalesce_pass(IRFunction& fn) {
+uint32_t run_coalesce_pass(IRFunction& fn) {
   uint32_t coalesced = 0;
   const auto defs = fn.def_counts();
   // Global use counts.
@@ -192,33 +220,7 @@ uint32_t coalesce_pass(IRFunction& fn) {
   return coalesced;
 }
 
-bool has_side_effects(const IRInst& inst) {
-  const OpInfo& info = op_info(inst.op);
-  switch (info.category) {
-    case OpCategory::Store:
-    case OpCategory::Control:
-    case OpCategory::Call:
-      return true;
-    case OpCategory::Load:
-      return true;  // loads can trap out-of-bounds; keep them
-    case OpCategory::IntArith:
-      // Division can trap.
-      switch (inst.op) {
-        case Opcode::DivSI32:
-        case Opcode::DivUI32:
-        case Opcode::RemSI32:
-        case Opcode::RemUI32:
-        case Opcode::DivSI64:
-          return true;
-        default:
-          return false;
-      }
-    default:
-      return false;
-  }
-}
-
-uint32_t dce_pass(IRFunction& fn) {
+uint32_t run_dce_pass(IRFunction& fn) {
   // A value is live if any instruction reads it; defs of dead values with
   // no side effects are removed. Iterates to a fixpoint.
   uint32_t removed_total = 0;
@@ -258,7 +260,7 @@ uint32_t dce_pass(IRFunction& fn) {
 ///   A: ... x = select(v, x, c); jump J
 /// Only fires when T contains exactly one assignment (copy or pure op
 /// producing a redefinition of x) and J is T's unique successor.
-uint32_t if_convert_pass(IRFunction& fn) {
+uint32_t run_if_convert_pass(IRFunction& fn) {
   uint32_t converted = 0;
   for (uint32_t a = 0; a < fn.num_blocks(); ++a) {
     IRBlock& A = fn.block(a);
@@ -309,7 +311,7 @@ uint32_t if_convert_pass(IRFunction& fn) {
 /// preheader. Real offline compilers do this; without it every simulated
 /// target pays 2-3 rematerialization cycles per iteration, inflating the
 /// apparent benefit of de-vectorized unrolling.
-uint32_t licm_consts_pass(IRFunction& fn) {
+uint32_t run_licm_consts_pass(IRFunction& fn) {
   uint32_t hoisted = 0;
   const auto defs = fn.def_counts();
   const std::vector<Loop> loops = find_loops(fn);
@@ -349,36 +351,39 @@ uint32_t licm_consts_pass(IRFunction& fn) {
   return hoisted;
 }
 
-}  // namespace
-
-PassStats run_passes(IRFunction& fn, const PassOptions& options) {
+PassStats run_cleanup_fixpoint(IRFunction& fn, const PassOptions& options) {
   PassStats stats;
   for (int round = 0; round < 3; ++round) {
     uint32_t work = 0;
-    work += coalesce_pass(fn);
+    work += run_coalesce_pass(fn);
     if (options.fold_constants) {
-      const uint32_t f = fold_pass(fn);
+      const uint32_t f = run_fold_pass(fn);
       stats.folded += f;
       work += f;
     }
     if (options.simplify) {
-      const uint32_t s = simplify_pass(fn);
+      const uint32_t s = run_simplify_pass(fn);
       stats.simplified += s;
       work += s;
     }
     if (options.dce) {
-      const uint32_t d = dce_pass(fn);
+      const uint32_t d = run_dce_pass(fn);
       stats.dce_removed += d;
       work += d;
     }
     if (work == 0) break;
   }
+  return stats;
+}
+
+PassStats run_passes(IRFunction& fn, const PassOptions& options) {
+  PassStats stats = run_cleanup_fixpoint(fn, options);
   if (options.simplify) {
-    stats.simplified += licm_consts_pass(fn);
+    stats.simplified += run_licm_consts_pass(fn);
   }
   if (options.if_convert) {
-    stats.if_converted = if_convert_pass(fn);
-    if (options.dce) stats.dce_removed += dce_pass(fn);
+    stats.if_converted = run_if_convert_pass(fn);
+    if (options.dce) stats.dce_removed += run_dce_pass(fn);
   }
   return stats;
 }

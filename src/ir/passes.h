@@ -23,6 +23,26 @@ struct PassStats {
   uint32_t if_converted = 0;
 };
 
+/// Legacy knob-struct runner: cleanup fixpoint (up to 3 rounds of
+/// coalesce+fold+simplify+dce), then constant LICM, then optional
+/// if-conversion. Kept as the reference schedule; the offline compiler now
+/// drives the same passes through the unified PassManager
+/// (ir/ir_pipeline.h), which reproduces this behavior for every
+/// PassOptions setting.
 PassStats run_passes(IRFunction& fn, const PassOptions& options);
+
+/// Individual rewrites, exposed as registrable passes for the unified
+/// PassManager. Each returns its number of rewrites.
+uint32_t run_coalesce_pass(IRFunction& fn);
+uint32_t run_fold_pass(IRFunction& fn);
+uint32_t run_simplify_pass(IRFunction& fn);
+uint32_t run_dce_pass(IRFunction& fn);
+uint32_t run_if_convert_pass(IRFunction& fn);
+uint32_t run_licm_consts_pass(IRFunction& fn);
+
+/// The cleanup fixpoint of run_passes alone: up to 3 rounds of
+/// coalesce + [fold] + [simplify] + [dce] with early exit when a round
+/// rewrites nothing. No LICM, no if-conversion.
+PassStats run_cleanup_fixpoint(IRFunction& fn, const PassOptions& options);
 
 }  // namespace svc

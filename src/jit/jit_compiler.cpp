@@ -1,8 +1,6 @@
 #include "jit/jit_compiler.h"
 
-#include "jit/devectorize.h"
-#include "jit/isel.h"
-#include "jit/stack_to_reg.h"
+#include "jit/jit_pipeline.h"
 
 namespace svc {
 
@@ -10,47 +8,23 @@ JitArtifact JitCompiler::compile(const Module& module, uint32_t func_idx) {
   const auto t0 = std::chrono::steady_clock::now();
   const Function& fn = module.function(func_idx);
 
+  const PipelineSpec spec =
+      options_.pipeline ? *options_.pipeline : default_jit_pipeline(desc_);
+  if (const auto unknown = jit_pass_manager().first_unknown(spec)) {
+    fatal("JitCompiler: unknown pass '" + *unknown + "' in pipeline '" +
+          spec.str() + "'");
+  }
+  // Every later pass transforms the MFunction that translation creates;
+  // without this check a bad spec would "compile" the default-constructed
+  // empty function and only fail much later, at run time.
+  if (spec.empty() || spec.names().front() != "stack_to_reg") {
+    fatal("JitCompiler: pipeline '" + spec.str() +
+          "' must start with stack_to_reg");
+  }
+
   JitArtifact artifact;
-  artifact.code = stack_to_reg(module, fn);
-
-  const PeepholeStats peep = peephole_cleanup(artifact.code);
-  artifact.stats.add("jit.moves_removed", peep.moves_removed);
-
-  if (desc_.has_fma) {
-    artifact.stats.add("jit.fma_formed", form_fma(artifact.code));
-  }
-
-  if (!desc_.has_simd) {
-    const DevectorizeStats dv = devectorize(artifact.code);
-    artifact.stats.add("jit.vector_insts_expanded", dv.vector_insts_expanded);
-    artifact.stats.add("jit.scalar_insts_emitted", dv.scalar_insts_emitted);
-    // Lane expansion leaves copy chains worth one more cleanup round.
-    const PeepholeStats peep2 = peephole_cleanup(artifact.code);
-    artifact.stats.add("jit.moves_removed", peep2.moves_removed);
-  }
-
-  // Register allocation. The SplitGuided policy consumes the offline
-  // SpillPriority annotation when present and enabled.
-  SpillPriorityInfo hints;
-  const SpillPriorityInfo* hints_ptr = nullptr;
-  if (options_.use_annotations &&
-      options_.alloc_policy == AllocPolicy::SplitGuided) {
-    if (const Annotation* ann =
-            find_annotation(fn.annotations(), AnnotationKind::SpillPriority)) {
-      if (auto decoded = SpillPriorityInfo::decode(ann->payload)) {
-        hints = std::move(*decoded);
-        hints_ptr = &hints;
-      }
-    }
-  }
-  const AllocResult alloc =
-      allocate_registers(artifact.code, desc_, options_.alloc_policy,
-                         hints_ptr);
-  artifact.stats.add("jit.spilled_vregs", alloc.spilled_vregs);
-  artifact.stats.add("jit.static_spill_loads", alloc.static_spill_loads);
-  artifact.stats.add("jit.static_spill_stores", alloc.static_spill_stores);
-  artifact.stats.add("jit.alloc_work_units",
-                     static_cast<int64_t>(alloc.work_units));
+  JitPipelineContext ctx{module, fn, desc_, options_};
+  jit_pass_manager().run(spec, artifact.code, ctx, &artifact.stats);
   artifact.stats.add("jit.code_bytes",
                      static_cast<int64_t>(artifact.code.code_bytes()));
 

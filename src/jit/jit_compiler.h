@@ -10,21 +10,32 @@
 #pragma once
 
 #include <chrono>
+#include <optional>
 #include <vector>
 
 #include "bytecode/module.h"
 #include "regalloc/linear_scan.h"
+#include "support/pass_manager.h"
 #include "support/statistics.h"
 #include "targets/machine.h"
 
 namespace svc {
 
 struct JitOptions {
+  JitOptions() = default;
+  JitOptions(AllocPolicy policy, bool annotations)
+      : alloc_policy(policy), use_annotations(annotations) {}
+
   AllocPolicy alloc_policy = AllocPolicy::LinearScan;
   // When false the JIT ignores all annotations (the ablation arm of the
   // split-compilation experiments); SplitGuided degrades to NaiveOnline
   // ranking as required by the annotations-are-advisory rule.
   bool use_annotations = true;
+  // Custom online phase chain (names from jit/jit_pipeline.h). When unset
+  // the JIT runs default_jit_pipeline(desc) -- the classic chain gated on
+  // the target's capabilities. Must start with "stack_to_reg" (the
+  // translation that creates the machine function the rest transforms).
+  std::optional<PipelineSpec> pipeline;
 };
 
 struct JitArtifact {

@@ -1,47 +1,80 @@
 #include "runtime/iterative.h"
 
+#include "ir/ir_pipeline.h"
+
 namespace svc {
 
 std::string TuneConfig::str() const {
-  std::string s;
-  s += vectorize ? "vec" : "novec";
-  s += if_convert ? "+ifcvt" : "";
-  s += simplify ? "+simp" : "+nosimp";
-  return s;
+  return name.empty() ? pipeline.str() : name;
 }
 
 OfflineOptions TuneConfig::to_offline_options() const {
   OfflineOptions opts;
-  opts.vectorize = vectorize;
-  opts.passes.if_convert = if_convert;
-  opts.passes.simplify = simplify;
+  opts.pipeline = pipeline;
   return opts;
+}
+
+TuneConfig TuneConfig::classic(bool vectorize, bool if_convert,
+                               bool simplify) {
+  PassOptions passes;
+  passes.if_convert = if_convert;
+  passes.simplify = simplify;
+
+  TuneConfig config;
+  config.pipeline = default_ir_pipeline(passes, vectorize);
+  config.name = vectorize ? "vec" : "novec";
+  config.name += if_convert ? "+ifcvt" : "";
+  config.name += simplify ? "+simp" : "+nosimp";
+  return config;
+}
+
+std::vector<TuneConfig> classic8_preset() {
+  std::vector<TuneConfig> space;
+  space.reserve(8);
+  for (int v = 0; v < 2; ++v) {
+    for (int ic = 0; ic < 2; ++ic) {
+      for (int s = 0; s < 2; ++s) {
+        space.push_back(TuneConfig::classic(v != 0, ic != 0, s != 0));
+      }
+    }
+  }
+  return space;
+}
+
+std::vector<TuneConfig> tune_preset(std::string_view name) {
+  if (name == "classic8") return classic8_preset();
+  if (name == "vectorize4") {
+    // The vectorization decision alone, with and without if-conversion:
+    // the smallest space that still shows per-target winner divergence.
+    return {TuneConfig::classic(false, false, true),
+            TuneConfig::classic(false, true, true),
+            TuneConfig::classic(true, false, true),
+            TuneConfig::classic(true, true, true)};
+  }
+  return {};
+}
+
+TuneResult tune(std::string_view source, TargetKind kind,
+                const WorkloadFn& workload,
+                const std::vector<TuneConfig>& space) {
+  TuneResult result;
+  result.best.cycles = UINT64_MAX;
+  for (const TuneConfig& config : space) {
+    const Module module = compile_or_die(source, config.to_offline_options());
+    OnlineTarget target(kind);
+    target.load(module);
+    TuneCandidate candidate;
+    candidate.config = config;
+    candidate.cycles = workload(target);
+    result.all.push_back(candidate);
+    if (candidate.cycles < result.best.cycles) result.best = candidate;
+  }
+  return result;
 }
 
 TuneResult tune(std::string_view source, TargetKind kind,
                 const WorkloadFn& workload) {
-  TuneResult result;
-  result.best.cycles = UINT64_MAX;
-  for (int v = 0; v < 2; ++v) {
-    for (int ic = 0; ic < 2; ++ic) {
-      for (int s = 0; s < 2; ++s) {
-        TuneConfig config;
-        config.vectorize = v != 0;
-        config.if_convert = ic != 0;
-        config.simplify = s != 0;
-        const Module module =
-            compile_or_die(source, config.to_offline_options());
-        OnlineTarget target(kind);
-        target.load(module);
-        TuneCandidate candidate;
-        candidate.config = config;
-        candidate.cycles = workload(target);
-        result.all.push_back(candidate);
-        if (candidate.cycles < result.best.cycles) result.best = candidate;
-      }
-    }
-  }
-  return result;
+  return tune(source, kind, workload, classic8_preset());
 }
 
 }  // namespace svc

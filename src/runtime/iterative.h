@@ -1,28 +1,56 @@
 // Iterative compilation driver (paper S4: "virtual machine monitors may be
-// the ideal engines to drive adaptive tuning"). Searches the offline
-// optimization knob space per target, evaluating candidate binaries on the
+// the ideal engines to drive adaptive tuning"). Searches a space of
+// offline pipeline specs per target, evaluating candidate binaries on the
 // target's simulator, and reports the per-target winner -- demonstrating
 // that the best configuration differs across heterogeneous cores, which
 // is exactly why the decision belongs after deployment.
+//
+// Since the pipeline became data (support/pass_manager.h), a candidate is
+// a named PipelineSpec rather than three booleans. The old 8-point knob
+// space (vectorize x if-convert x simplify) survives as the "classic8"
+// preset, in the old evaluation order, so per-target winners stay
+// comparable across the refactor.
 #pragma once
 
 #include <functional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "driver/offline_compiler.h"
 #include "driver/online_compiler.h"
+#include "support/pass_manager.h"
 
 namespace svc {
 
+/// One point of the tuning space: a display name plus the offline IR
+/// pipeline that produces the candidate module.
 struct TuneConfig {
-  bool vectorize = true;
-  bool if_convert = false;
-  bool simplify = true;
+  std::string name;       // table label, e.g. "vec+ifcvt+simp"
+  PipelineSpec pipeline;  // offline schedule (names from ir/ir_pipeline.h)
 
+  /// Display form: the name when set, otherwise the spec string.
   [[nodiscard]] std::string str() const;
   [[nodiscard]] OfflineOptions to_offline_options() const;
+  /// True when the schedule includes `pass` (e.g. "vectorize").
+  [[nodiscard]] bool uses(std::string_view pass) const {
+    return pipeline.contains(pass);
+  }
+
+  /// One point of the classic knob space, named in the legacy
+  /// "vec[+ifcvt][+simp|+nosimp]" form with the exact pre-refactor
+  /// schedule for that knob setting.
+  static TuneConfig classic(bool vectorize, bool if_convert, bool simplify);
 };
+
+/// The classic 8-point space (vectorize x if-convert x simplify) in the
+/// legacy evaluation order: vectorize outermost, simplify innermost, all
+/// "off" first.
+[[nodiscard]] std::vector<TuneConfig> classic8_preset();
+
+/// Named search-space lookup ("classic8", "vectorize4"); empty vector for
+/// unknown names.
+[[nodiscard]] std::vector<TuneConfig> tune_preset(std::string_view name);
 
 /// Measures one candidate: the harness runs its workload on the loaded
 /// target and returns total simulated cycles.
@@ -38,7 +66,13 @@ struct TuneResult {
   std::vector<TuneCandidate> all;  // full search space, evaluation order
 };
 
-/// Exhaustively evaluates the 8-point knob space of `source` on `kind`.
+/// Evaluates every config of `space` for `source` on `kind`; ties go to
+/// the earlier candidate.
+[[nodiscard]] TuneResult tune(std::string_view source, TargetKind kind,
+                              const WorkloadFn& workload,
+                              const std::vector<TuneConfig>& space);
+
+/// Classic8 convenience overload (the pre-refactor search space).
 [[nodiscard]] TuneResult tune(std::string_view source, TargetKind kind,
                               const WorkloadFn& workload);
 

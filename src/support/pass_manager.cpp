@@ -1,0 +1,64 @@
+#include "support/pass_manager.h"
+
+namespace svc {
+namespace {
+
+bool valid_name_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == '.' || c == '-';
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+std::optional<PipelineSpec> PipelineSpec::parse(std::string_view text) {
+  std::vector<std::string> names;
+  if (trim(text).empty()) return PipelineSpec{};
+  size_t start = 0;
+  while (start <= text.size()) {
+    const size_t comma = text.find(',', start);
+    const std::string_view raw =
+        text.substr(start, comma == std::string_view::npos ? std::string_view::npos
+                                                           : comma - start);
+    const std::string_view name = trim(raw);
+    if (name.empty()) return std::nullopt;
+    for (char c : name) {
+      if (!valid_name_char(c)) return std::nullopt;
+    }
+    names.emplace_back(name);
+    if (comma == std::string_view::npos) break;
+    start = comma + 1;
+  }
+  return PipelineSpec{std::move(names)};
+}
+
+std::string PipelineSpec::str() const {
+  std::string out;
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (i != 0) out += ',';
+    out += names_[i];
+  }
+  return out;
+}
+
+bool PipelineSpec::contains(std::string_view name) const {
+  for (const std::string& n : names_) {
+    if (n == name) return true;
+  }
+  return false;
+}
+
+void PipelineSpec::append(const PipelineSpec& tail) {
+  names_.insert(names_.end(), tail.names_.begin(), tail.names_.end());
+}
+
+}  // namespace svc

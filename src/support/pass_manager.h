@@ -1,0 +1,169 @@
+// The unified pass-pipeline subsystem: both halves of the split pipeline
+// (offline IR passes and online JIT phases) are named, registrable passes
+// run by a PassManager from a PipelineSpec -- the pipeline is *data*, not
+// hard-wired code. This is what lets the iterative-compilation driver
+// search pipeline specs, benches report per-pass wall time, and later work
+// cache or parallelize per-configuration compilation.
+//
+// A PipelineSpec is an ordered list of pass names and round-trips through
+// its string form ("fold,simplify,dce,if_convert,vectorize"). A
+// PassManager<Unit, Context> owns the registry for one pipeline family
+// (Unit = IRFunction offline, MFunction online) and runs a spec over one
+// unit, timing every pass and collecting its Statistics delta.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/diagnostics.h"
+#include "support/statistics.h"
+
+namespace svc {
+
+/// An ordered pipeline of pass names. Parsed from / rendered to a
+/// comma-separated string; `parse(s.str()) == s` for every valid spec.
+class PipelineSpec {
+ public:
+  PipelineSpec() = default;
+  explicit PipelineSpec(std::vector<std::string> names)
+      : names_(std::move(names)) {}
+
+  /// Parses "a,b,c" (whitespace around names is trimmed). Returns nullopt
+  /// on empty segments ("a,,b") or names with characters outside
+  /// [A-Za-z0-9_.-]. The empty string parses to the empty spec.
+  static std::optional<PipelineSpec> parse(std::string_view text);
+
+  /// Comma-joined names; inverse of parse().
+  [[nodiscard]] std::string str() const;
+
+  [[nodiscard]] const std::vector<std::string>& names() const {
+    return names_;
+  }
+  [[nodiscard]] bool empty() const { return names_.empty(); }
+  [[nodiscard]] size_t size() const { return names_.size(); }
+  [[nodiscard]] bool contains(std::string_view name) const;
+
+  void append(std::string name) { names_.push_back(std::move(name)); }
+  void append(const PipelineSpec& tail);
+
+  friend bool operator==(const PipelineSpec& a, const PipelineSpec& b) {
+    return a.names_ == b.names_;
+  }
+
+ private:
+  std::vector<std::string> names_;
+};
+
+/// One executed pass: what ran, how long it took, what it reported.
+struct PassRunInfo {
+  std::string name;
+  double seconds = 0.0;
+  Statistics delta;
+};
+
+/// Result of PassManager::run over one unit.
+struct PipelineRunReport {
+  std::vector<PassRunInfo> passes;
+  double total_seconds = 0.0;
+};
+
+/// Registry + runner for one pipeline family. `Unit` is the object being
+/// transformed (IRFunction, MFunction); `Context` carries the immutable
+/// surroundings (target description, source function, options) plus any
+/// cross-pass outputs (e.g. the vectorizer's loop annotations).
+template <typename Unit, typename Context>
+class PassManager {
+ public:
+  /// A pass mutates `unit` and reports named counters into `stats`.
+  using PassFn = std::function<void(Unit& unit, Context& ctx,
+                                    Statistics& stats)>;
+
+  /// `timer_prefix` namespaces the per-pass wall-time counters the runner
+  /// adds to the aggregate Statistics ("<prefix><pass>", microseconds).
+  explicit PassManager(std::string timer_prefix = "pass_us.")
+      : timer_prefix_(std::move(timer_prefix)) {}
+
+  void register_pass(std::string name, std::string description, PassFn fn) {
+    if (index_.count(name) != 0) {
+      fatal("PassManager: duplicate pass '" + name + "'");
+    }
+    index_[name] = passes_.size();
+    passes_.push_back({std::move(name), std::move(description),
+                       std::move(fn)});
+  }
+
+  [[nodiscard]] bool has_pass(std::string_view name) const {
+    return index_.count(std::string(name)) != 0;
+  }
+
+  /// Registered pass names, in registration order.
+  [[nodiscard]] std::vector<std::string> pass_names() const {
+    std::vector<std::string> out;
+    out.reserve(passes_.size());
+    for (const auto& p : passes_) out.push_back(p.name);
+    return out;
+  }
+
+  [[nodiscard]] std::string_view pass_description(
+      std::string_view name) const {
+    const auto it = index_.find(std::string(name));
+    if (it == index_.end()) fatal("PassManager: unknown pass");
+    return passes_[it->second].description;
+  }
+
+  /// First name in `spec` with no registered pass, if any. Callers turn
+  /// this into a DiagnosticEngine error; run() treats unknown names as an
+  /// internal invariant break.
+  [[nodiscard]] std::optional<std::string> first_unknown(
+      const PipelineSpec& spec) const {
+    for (const std::string& name : spec.names()) {
+      if (!has_pass(name)) return name;
+    }
+    return std::nullopt;
+  }
+
+  /// Runs `spec` over `unit` in order. Every pass is wall-clock timed; its
+  /// Statistics delta and its "<timer_prefix><name>" time land in
+  /// `aggregate` (when given) and in the returned report. A name may
+  /// appear any number of times; unknown names are fatal -- validate with
+  /// first_unknown() on untrusted specs.
+  PipelineRunReport run(const PipelineSpec& spec, Unit& unit, Context& ctx,
+                        Statistics* aggregate = nullptr) const {
+    PipelineRunReport report;
+    for (const std::string& name : spec.names()) {
+      const auto it = index_.find(name);
+      if (it == index_.end()) {
+        fatal("PassManager: unknown pass '" + name + "' in pipeline");
+      }
+      PassRunInfo info;
+      info.name = name;
+      {
+        StatTimer timer(info.delta, timer_prefix_ + name);
+        passes_[it->second].fn(unit, ctx, info.delta);
+      }
+      info.seconds =
+          static_cast<double>(info.delta.get(timer_prefix_ + name)) * 1e-6;
+      report.total_seconds += info.seconds;
+      if (aggregate) aggregate->merge(info.delta);
+      report.passes.push_back(std::move(info));
+    }
+    return report;
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    std::string description;
+    PassFn fn;
+  };
+
+  std::vector<Entry> passes_;
+  std::map<std::string, size_t> index_;
+  std::string timer_prefix_;
+};
+
+}  // namespace svc

@@ -3,6 +3,7 @@
 // tables (e.g. "spills", "jit_cycles", "annotation_bytes").
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -35,6 +36,30 @@ class Statistics {
 
  private:
   std::map<std::string, int64_t> counters_;
+};
+
+/// Scoped wall-clock timer: adds the elapsed microseconds to the counter
+/// `key` on destruction, so timer keys read as plain counters. Used by the
+/// PassManager for per-pass wall time.
+class StatTimer {
+ public:
+  StatTimer(Statistics& stats, std::string key)
+      : stats_(stats),
+        key_(std::move(key)),
+        start_(std::chrono::steady_clock::now()) {}
+  ~StatTimer() {
+    const auto end = std::chrono::steady_clock::now();
+    stats_.add(key_, std::chrono::duration_cast<std::chrono::microseconds>(
+                         end - start_)
+                         .count());
+  }
+  StatTimer(const StatTimer&) = delete;
+  StatTimer& operator=(const StatTimer&) = delete;
+
+ private:
+  Statistics& stats_;
+  std::string key_;
+  std::chrono::steady_clock::time_point start_;
 };
 
 }  // namespace svc

@@ -43,7 +43,7 @@ TEST(Lexer, TokenKinds) {
 
 TEST(Lexer, ReportsBadCharacter) {
   DiagnosticEngine diags;
-  lex("fn @", diags);
+  (void)lex("fn @", diags);
   EXPECT_TRUE(diags.has_errors());
 }
 

@@ -189,7 +189,7 @@ TEST(Iterative, FindsVectorizationOnSimdTarget) {
             mem);
         return r.ok() ? r.stats.cycles : UINT64_MAX;
       });
-  EXPECT_TRUE(result.best.config.vectorize);
+  EXPECT_TRUE(result.best.config.uses("vectorize"));
   EXPECT_EQ(result.all.size(), 8u);
 }
 
