@@ -1,0 +1,162 @@
+// Cold-start and steady-state comparison of the deployment-runtime
+// configurations on a 4-core heterogeneous SoC: eager install-time JIT
+// (the paper's batch precompile) vs. tiered execution vs. tiered +
+// annotation-driven prefetch. Reports, per configuration: load() wall
+// time, compiles actually run, first-call latency per kernel (simulated
+// cycles, which tier answered), steady-state throughput after warm-up,
+// and the shared-cache hit rate.
+//
+// Registered in CMake as a ctest smoke target: sizes are kept small so a
+// full run stays well under a second per configuration.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "driver/kernels.h"
+#include "runtime/mapper.h"
+#include "runtime/soc.h"
+
+namespace {
+
+using namespace svc;
+using namespace svc::bench;
+
+constexpr int kElems = 256;
+constexpr int kSteadyReps = 10;
+
+Module build_suite() {
+  Module suite;
+  suite.set_name("warmup_suite");
+  for (const KernelInfo& k : table1_kernels()) {
+    Module m = compile_or_die(k.source);
+    suite.add_function(m.function(0));
+  }
+  return suite;
+}
+
+std::vector<CoreSpec> soc_cores() {
+  return {{TargetKind::X86Sim, false},
+          {TargetKind::X86Sim, false},
+          {TargetKind::PpcSim, false},
+          {TargetKind::SpuSim, true}};
+}
+
+struct ConfigReport {
+  std::string name;
+  double load_ms = 0.0;
+  double warm_ms = 0.0;  // background-compile drain after load
+  int64_t compiles = 0;
+  uint64_t first_call_cycles = 0;  // sum over kernels, each on its best core
+  uint64_t tier0_first_calls = 0;
+  uint64_t steady_cycles = 0;  // sum over kernels x reps after warm-up
+  double hit_rate = 0.0;
+};
+
+ConfigReport run_config(const std::string& name, const Module& suite,
+                        SocOptions options) {
+  ConfigReport report;
+  report.name = name;
+
+  Soc soc(soc_cores(), 1 << 20, options);
+  const auto t0 = std::chrono::steady_clock::now();
+  soc.load(suite);
+  const auto t1 = std::chrono::steady_clock::now();
+  report.load_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  // Let any prefetch jobs land before traffic arrives -- the install-time
+  // window the paper's cheap JIT is meant to fit into. Without prefetch
+  // nothing is in flight and this is free.
+  soc.wait_warmup();
+  const auto t2 = std::chrono::steady_clock::now();
+  report.warm_ms = std::chrono::duration<double, std::milli>(t2 - t1).count();
+
+  setup_memory(soc.memory(), kElems);
+  const auto kernels = table1_kernels();
+
+  // Cold start: the first call of each kernel on its mapper-chosen core.
+  for (size_t i = 0; i < kernels.size(); ++i) {
+    const KernelInfo& k = kernels[i];
+    const size_t core =
+        choose_core(soc, suite.function(static_cast<uint32_t>(i)));
+    const SimResult r =
+        soc.run_on(core, k.fn_name, kernel_args(k, kElems));
+    if (!r.ok()) {
+      std::fprintf(stderr, "%s trapped in config %s\n",
+                   std::string(k.name).c_str(), name.c_str());
+      std::abort();
+    }
+    report.first_call_cycles += r.stats.cycles;
+    report.tier0_first_calls += r.interpreted ? 1 : 0;
+  }
+
+  // Steady state: identical for every configuration once warmed up.
+  soc.wait_warmup();
+  for (int rep = 0; rep < kSteadyReps; ++rep) {
+    for (size_t i = 0; i < kernels.size(); ++i) {
+      const KernelInfo& k = kernels[i];
+      const size_t core =
+          choose_core(soc, suite.function(static_cast<uint32_t>(i)));
+      const SimResult r =
+          soc.run_on(core, k.fn_name, kernel_args(k, kElems));
+      report.steady_cycles += r.stats.cycles;
+    }
+  }
+
+  const Statistics stats = soc.code_cache().stats();
+  report.compiles = stats.get("cache.compiles");
+  const int64_t lookups = stats.get("cache.hits") + stats.get("cache.misses");
+  report.hit_rate =
+      lookups > 0 ? 100.0 * static_cast<double>(stats.get("cache.hits")) /
+                        static_cast<double>(lookups)
+                  : 0.0;
+  return report;
+}
+
+}  // namespace
+
+int main() {
+  const Module suite = build_suite();
+  const size_t fns = suite.num_functions();
+
+  SocOptions eager;  // defaults: eager mode, shared cache
+
+  SocOptions tiered;
+  tiered.mode = LoadMode::Tiered;
+  tiered.pool_threads = 2;
+
+  SocOptions prefetch = tiered;
+  prefetch.prefetch = true;
+
+  const std::vector<ConfigReport> reports = {
+      run_config("eager", suite, eager),
+      run_config("tiered", suite, tiered),
+      run_config("tiered+prefetch", suite, prefetch),
+  };
+
+  std::printf("warm-up / throughput on a 4-core SoC "
+              "(2x x86sim, ppcsim, spusim accel; %zu kernels, n=%d)\n",
+              fns, kElems);
+  std::printf("%-16s %9s %9s %9s %14s %7s %14s %8s\n", "config", "load ms",
+              "warm ms", "compiles", "1st-call cyc", "tier0", "steady cyc",
+              "hit rate");
+  print_rule(94);
+  for (const ConfigReport& r : reports) {
+    std::printf("%-16s %9.2f %9.2f %9lld %14llu %7llu %14llu %7.1f%%\n",
+                r.name.c_str(), r.load_ms, r.warm_ms,
+                static_cast<long long>(r.compiles),
+                static_cast<unsigned long long>(r.first_call_cycles),
+                static_cast<unsigned long long>(r.tier0_first_calls),
+                static_cast<unsigned long long>(r.steady_cycles),
+                r.hit_rate);
+  }
+  print_rule(94);
+  std::printf(
+      "eager compiles every function per kind before anything runs;\n"
+      "tiered answers first calls from the interpreter (%llux cycle cost "
+      "per step)\nwhile the JIT warms up; prefetch hides that by "
+      "background-compiling each\nfunction on its top-ranked core at "
+      "load. Steady-state cycles converge.\n",
+      static_cast<unsigned long long>(kInterpreterCyclesPerStep));
+  return 0;
+}

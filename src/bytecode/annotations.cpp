@@ -100,7 +100,7 @@ std::optional<LoopTripInfo> LoopTripInfo::decode(
   return info;
 }
 
-const Annotation* find_annotation(const std::vector<Annotation>& annotations,
+const Annotation* find_annotation(std::span<const Annotation> annotations,
                                   AnnotationKind kind) {
   for (const auto& a : annotations) {
     if (a.kind == kind) return &a;

@@ -93,7 +93,8 @@ struct LoopTripInfo {
 };
 
 /// Finds the first annotation of `kind` in `annotations`, or nullptr.
-const Annotation* find_annotation(const std::vector<Annotation>& annotations,
+/// Accepts any contiguous range of annotations (vector, array, subspan).
+const Annotation* find_annotation(std::span<const Annotation> annotations,
                                   AnnotationKind kind);
 
 }  // namespace svc

@@ -2,20 +2,109 @@
 
 #include <chrono>
 
+#include "bytecode/verifier.h"
 #include "support/diagnostics.h"
+#include "vm/interpreter.h"
 
 namespace svc {
 
+namespace {
+
+/// Direct-callee adjacency per function (callee indices are in range by
+/// verification). Scanned once so per-root closures below walk the graph,
+/// not the instruction stream.
+std::vector<std::vector<uint32_t>> callee_graph(const Module& module) {
+  std::vector<std::vector<uint32_t>> callees(module.num_functions());
+  for (uint32_t f = 0; f < module.num_functions(); ++f) {
+    for (const BasicBlock& block : module.function(f).blocks()) {
+      for (const Instruction& inst : block.insts) {
+        if (inst.op == Opcode::Call) callees[f].push_back(inst.a);
+      }
+    }
+  }
+  return callees;
+}
+
+/// `root` plus every function transitively callable from it, i.e. every
+/// function the simulator may execute when `root` runs.
+std::vector<uint32_t> reachable_functions(
+    const std::vector<std::vector<uint32_t>>& callees, uint32_t root) {
+  std::vector<bool> seen(callees.size(), false);
+  std::vector<uint32_t> stack{root};
+  std::vector<uint32_t> out;
+  seen[root] = true;
+  while (!stack.empty()) {
+    const uint32_t f = stack.back();
+    stack.pop_back();
+    out.push_back(f);
+    for (const uint32_t callee : callees[f]) {
+      if (!seen[callee]) {
+        seen[callee] = true;
+        stack.push_back(callee);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+OnlineTarget::~OnlineTarget() { drain_pending(); }
+
+void OnlineTarget::drain_pending() {
+  // In-flight background jobs capture `this` (and read module_ without the
+  // state mutex), so both destruction and re-load must wait them out. The
+  // futures are collected under the lock but waited on outside it: pool
+  // workers never take our mutex, but holding it while blocked would stall
+  // concurrent run() callers needlessly.
+  std::vector<std::shared_future<CodeCache::Artifact>> pending;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (FuncState& st : states_) {
+      if (st.pending.valid()) pending.push_back(st.pending);
+    }
+  }
+  for (const auto& future : pending) future.wait();
+}
+
 void OnlineTarget::load(const Module& module) {
+  DiagnosticEngine diags;
+  if (!verify_module(module, diags)) {
+    fatal("OnlineTarget::load: invalid module '" + module.name() + "':\n" +
+          diags.dump());
+  }
+
+  // Re-loading while compiles of the previous module are in flight would
+  // hand them a dangling module pointer; finish them first.
+  drain_pending();
+
+  std::lock_guard<std::mutex> lock(mutex_);
   module_ = &module;
   jit_stats_.clear();
-  const auto t0 = std::chrono::steady_clock::now();
+  jit_seconds_ = 0.0;
+  interpreted_calls_ = 0;
+  jitted_calls_ = 0;
   code_.clear();
-  code_.reserve(module.num_functions());
-  for (uint32_t i = 0; i < module.num_functions(); ++i) {
-    JitArtifact artifact = jit_.compile(module, i);
-    jit_stats_.merge(artifact.stats);
-    code_.push_back(std::move(artifact.code));
+  states_.clear();
+
+  const uint32_t n = static_cast<uint32_t>(module.num_functions());
+  if (config_.mode == LoadMode::Tiered) {
+    // No compilation now: empty slots are filled as artifacts install.
+    code_.resize(n);
+    states_.resize(n);
+    const auto callees = callee_graph(module);
+    for (uint32_t i = 0; i < n; ++i) {
+      states_[i].reachable = reachable_functions(callees, i);
+    }
+    return;
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  code_.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    const CodeCache::Artifact artifact = compile_artifact(i);
+    jit_stats_.merge(artifact->stats);
+    code_.push_back(artifact->code);
   }
   const auto t1 = std::chrono::steady_clock::now();
   jit_seconds_ = std::chrono::duration<double>(t1 - t0).count();
@@ -27,15 +116,132 @@ SimResult OnlineTarget::run(std::string_view name,
   if (!module_) fatal("OnlineTarget::run before load");
   const auto idx = module_->find_function(name);
   if (!idx) fatal("OnlineTarget::run: unknown function");
+
+  if (config_.mode == LoadMode::Tiered) {
+    bool use_jit = true;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      FuncState& st = states_[*idx];
+      ++st.calls;
+      if (!st.requested && st.calls >= config_.promote_threshold) {
+        request_compile_locked(*idx);
+      }
+      for (const uint32_t r : st.reachable) {
+        poll_install_locked(r);
+        use_jit = use_jit && states_[r].installed;
+      }
+      if (use_jit) {
+        ++jitted_calls_;
+      } else {
+        ++interpreted_calls_;
+      }
+    }
+    // Execution happens outside the lock: installed code_ entries are
+    // immutable once their installed flag has been observed, and
+    // concurrent installs only touch *other* (pre-sized) vector slots.
+    if (!use_jit) return interpret(*idx, args, memory, step_budget);
+  }
+
   Simulator sim(desc_, code_, memory);
   sim.set_step_budget(step_budget);
   return sim.run(*idx, args);
 }
 
+void OnlineTarget::request_compile(uint32_t func_idx) {
+  if (config_.mode != LoadMode::Tiered || !module_) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (func_idx >= states_.size()) return;
+  request_compile_locked(func_idx);
+}
+
+bool OnlineTarget::jit_ready(uint32_t func_idx) {
+  if (config_.mode != LoadMode::Tiered) return module_ != nullptr;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (func_idx >= states_.size()) return false;
+  bool ready = true;
+  for (const uint32_t r : states_[func_idx].reachable) {
+    poll_install_locked(r);
+    ready = ready && states_[r].installed;
+  }
+  return ready;
+}
+
+uint64_t OnlineTarget::interpreted_calls() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return interpreted_calls_;
+}
+
+uint64_t OnlineTarget::jitted_calls() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return jitted_calls_;
+}
+
 size_t OnlineTarget::code_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   size_t total = 0;
   for (const MFunction& fn : code_) total += fn.code_bytes();
   return total;
+}
+
+CodeCache::Artifact OnlineTarget::compile_artifact(uint32_t func_idx) const {
+  if (config_.cache) {
+    const CodeCacheKey key{module_, func_idx, desc_.kind,
+                           jit_.options().cache_key()};
+    return config_.cache->get_or_compile(
+        key, [this, func_idx] { return jit_.compile(*module_, func_idx); });
+  }
+  return std::make_shared<const JitArtifact>(jit_.compile(*module_, func_idx));
+}
+
+void OnlineTarget::request_compile_locked(uint32_t func_idx) {
+  // Requesting a function requests its whole reachable set: tier-up needs
+  // every callee installed before the simulator may run the caller.
+  for (const uint32_t r : states_[func_idx].reachable) {
+    FuncState& st = states_[r];
+    if (st.requested) continue;
+    st.requested = true;
+    if (config_.pool) {
+      st.pending =
+          config_.pool->submit([this, r] { return compile_artifact(r); })
+              .share();
+    } else {
+      install_locked(r, *compile_artifact(r));
+    }
+  }
+}
+
+void OnlineTarget::poll_install_locked(uint32_t func_idx) {
+  FuncState& st = states_[func_idx];
+  if (st.installed || !st.requested || !st.pending.valid()) return;
+  if (st.pending.wait_for(std::chrono::seconds(0)) !=
+      std::future_status::ready) {
+    return;
+  }
+  install_locked(func_idx, *st.pending.get());
+  st.pending = {};
+}
+
+void OnlineTarget::install_locked(uint32_t func_idx,
+                                  const JitArtifact& artifact) {
+  code_[func_idx] = artifact.code;
+  jit_stats_.merge(artifact.stats);
+  jit_seconds_ += artifact.compile_seconds;
+  states_[func_idx].installed = true;
+}
+
+SimResult OnlineTarget::interpret(uint32_t func_idx,
+                                  const std::vector<Value>& args,
+                                  Memory& memory, uint64_t step_budget) {
+  Interpreter interp(*module_, memory);
+  interp.set_step_budget(step_budget);
+  const ExecResult r = interp.run(func_idx, args);
+  SimResult out;
+  out.interpreted = true;
+  out.trap = r.trap;
+  if (r.value) out.value = *r.value;
+  out.stats.instructions = r.steps;
+  out.stats.cycles = r.steps * kInterpreterCyclesPerStep;
+  return out;
 }
 
 }  // namespace svc

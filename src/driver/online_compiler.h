@@ -1,48 +1,145 @@
 // A deployed target: the device-side pairing of a JIT compiler and its
-// simulated core. Loading a module JIT-compiles every function; `run`
-// executes on the cycle-approximate simulator. This is what "shipping the
-// same bytecode to three machines" looks like in the reproduction.
+// simulated core, run as a *tiered* runtime. Eager mode keeps the original
+// install-time behavior (load JIT-compiles every function before the first
+// instruction runs); tiered mode starts executing immediately in the
+// reference interpreter (tier 0) and promotes a function to its JITed
+// artifact (tier 1) once a background compile -- shared through an
+// optional CodeCache and ThreadPool -- has finished. This is what
+// "shipping the same bytecode to three machines" looks like when the
+// machines also have to start up fast.
 #pragma once
 
+#include <cstdint>
+#include <future>
+#include <mutex>
 #include <optional>
 #include <string_view>
 #include <vector>
 
 #include "bytecode/module.h"
 #include "jit/jit_compiler.h"
+#include "runtime/code_cache.h"
+#include "support/thread_pool.h"
 #include "targets/simulator.h"
 #include "targets/target_registry.h"
 
 namespace svc {
 
+/// How a target materializes machine code for a loaded module.
+enum class LoadMode : uint8_t {
+  Eager,   // JIT every function during load() (the classic behavior)
+  Tiered,  // interpret first, promote to JITed code once compiled
+};
+
+/// Deterministic tier-0 cost model: one interpreted bytecode step costs
+/// this many "cycles", so cold-start numbers are comparable to simulated
+/// machine cycles and stable across hosts (bench/warmup_throughput.cpp).
+inline constexpr uint64_t kInterpreterCyclesPerStep = 8;
+
+/// Tiered-runtime wiring for one OnlineTarget. `cache` and `pool` are
+/// optional and shared (typically owned by a Soc): without a pool, tier-up
+/// compiles run synchronously at the promotion threshold; without a cache,
+/// artifacts are private to the target.
+struct OnlineTargetConfig {
+  LoadMode mode = LoadMode::Eager;
+  // Calls of a function before its JIT compile is requested.
+  uint32_t promote_threshold = 1;
+  CodeCache* cache = nullptr;
+  ThreadPool* pool = nullptr;
+};
+
 class OnlineTarget {
  public:
-  explicit OnlineTarget(TargetKind kind, JitOptions options = {})
-      : desc_(target_desc(kind)), jit_(desc_, options) {}
+  using Config = OnlineTargetConfig;
+
+  explicit OnlineTarget(TargetKind kind, JitOptions options = {},
+                        Config config = {})
+      : desc_(target_desc(kind)), jit_(desc_, options), config_(config) {}
+
+  /// Blocks until every background compile this target enqueued has
+  /// finished: in-flight jobs capture `this`, so they must not outlive it.
+  /// (The shared pool itself is the caller's to destroy.)
+  ~OnlineTarget();
 
   [[nodiscard]] const MachineDesc& desc() const { return desc_; }
+  [[nodiscard]] const JitOptions& options() const { return jit_.options(); }
+  [[nodiscard]] LoadMode mode() const { return config_.mode; }
   [[nodiscard]] const Statistics& jit_stats() const { return jit_stats_; }
   [[nodiscard]] double jit_seconds() const { return jit_seconds_; }
   [[nodiscard]] const std::vector<MFunction>& code() const { return code_; }
 
-  /// JIT-compiles every function of `module` for this target.
+  /// Verifies `module` (fatal with diagnostics on an invalid module --
+  /// fail fast, never JIT or interpret unverified code) and prepares it
+  /// for execution: eager mode JIT-compiles every function now, tiered
+  /// mode defers to run()/request_compile().
+  ///
+  /// Lifetime invariant: only a pointer to `module` is retained, and any
+  /// shared CodeCache keys artifacts by its address. The module must
+  /// outlive this target *and* the cache, and must not be mutated after
+  /// loading.
   void load(const Module& module);
 
-  /// Runs a loaded function by name on `memory`.
+  /// Runs a loaded function by name on `memory`. In tiered mode the call
+  /// is served by the interpreter until the function and everything it
+  /// can call have installed JITed code (result.interpreted tells which
+  /// tier ran); results are bit-identical across tiers. Thread-safe in
+  /// tiered mode for concurrent callers on disjoint memory.
   [[nodiscard]] SimResult run(std::string_view name,
                               const std::vector<Value>& args, Memory& memory,
                               uint64_t step_budget = uint64_t{1} << 32);
 
-  /// Total emitted code size (deployment footprint per target).
+  /// Requests the background (or, without a pool, immediate) compile of
+  /// `func_idx` and every function it can reach, without running anything.
+  /// Used by Soc warm-up prefetch; no-op in eager mode.
+  void request_compile(uint32_t func_idx);
+
+  /// True when the next run() of `func_idx` executes JITed code. Polls
+  /// pending compiles, so a false result may turn true moments later.
+  [[nodiscard]] bool jit_ready(uint32_t func_idx);
+
+  /// Calls served per tier since load. Tiered mode only: eager mode does
+  /// no tier bookkeeping and reports zero for both.
+  [[nodiscard]] uint64_t interpreted_calls() const;
+  [[nodiscard]] uint64_t jitted_calls() const;
+
+  /// Total emitted code size (deployment footprint per target). In tiered
+  /// mode: installed artifacts only.
   [[nodiscard]] size_t code_bytes() const;
 
  private:
+  struct FuncState {
+    uint32_t calls = 0;
+    bool requested = false;
+    bool installed = false;
+    std::shared_future<CodeCache::Artifact> pending;
+    // This function plus its transitive callees: everything the simulator
+    // may execute when the function runs, so everything that must be
+    // installed before tier-up.
+    std::vector<uint32_t> reachable;
+  };
+
+  [[nodiscard]] CodeCache::Artifact compile_artifact(uint32_t func_idx) const;
+  void drain_pending();
+  void request_compile_locked(uint32_t func_idx);
+  void poll_install_locked(uint32_t func_idx);
+  void install_locked(uint32_t func_idx, const JitArtifact& artifact);
+  [[nodiscard]] SimResult interpret(uint32_t func_idx,
+                                    const std::vector<Value>& args,
+                                    Memory& memory, uint64_t step_budget);
+
   const MachineDesc& desc_;
   JitCompiler jit_;
+  Config config_;
   const Module* module_ = nullptr;
   std::vector<MFunction> code_;
   Statistics jit_stats_;
   double jit_seconds_ = 0.0;
+  // Tiered-mode state; guarded by mutex_ (eager mode is immutable after
+  // load and needs no locking on the run path).
+  mutable std::mutex mutex_;
+  std::vector<FuncState> states_;
+  uint64_t interpreted_calls_ = 0;
+  uint64_t jitted_calls_ = 0;
 };
 
 }  // namespace svc

@@ -4,7 +4,16 @@
 
 namespace svc {
 
-JitArtifact JitCompiler::compile(const Module& module, uint32_t func_idx) {
+std::string JitOptions::cache_key() const {
+  std::string key = alloc_policy_name(alloc_policy);
+  key += use_annotations ? "/ann" : "/noann";
+  key += '/';
+  key += pipeline ? pipeline->str() : "default";
+  return key;
+}
+
+JitArtifact JitCompiler::compile(const Module& module,
+                                 uint32_t func_idx) const {
   const auto t0 = std::chrono::steady_clock::now();
   const Function& fn = module.function(func_idx);
 
@@ -34,8 +43,8 @@ JitArtifact JitCompiler::compile(const Module& module, uint32_t func_idx) {
   return artifact;
 }
 
-std::vector<MFunction> JitCompiler::compile_module(const Module& module,
-                                                   Statistics* aggregate) {
+std::vector<MFunction> JitCompiler::compile_module(
+    const Module& module, Statistics* aggregate) const {
   std::vector<MFunction> out;
   out.reserve(module.num_functions());
   for (uint32_t i = 0; i < module.num_functions(); ++i) {

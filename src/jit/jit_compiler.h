@@ -36,6 +36,13 @@ struct JitOptions {
   // the target's capabilities. Must start with "stack_to_reg" (the
   // translation that creates the machine function the rest transforms).
   std::optional<PipelineSpec> pipeline;
+
+  /// Canonical stringification for code-cache keying: two JitOptions with
+  /// equal keys produce identical code on the same target. An unset
+  /// pipeline renders as "default" -- sound to cache because the default
+  /// schedule is a pure function of the MachineDesc, and the cache key
+  /// also carries the target kind.
+  [[nodiscard]] std::string cache_key() const;
 };
 
 struct JitArtifact {
@@ -50,17 +57,22 @@ class JitCompiler {
       : desc_(desc), options_(options) {}
 
   [[nodiscard]] const MachineDesc& desc() const { return desc_; }
+  [[nodiscard]] const JitOptions& options() const { return options_; }
 
-  /// Compiles one function of `module`.
-  [[nodiscard]] JitArtifact compile(const Module& module, uint32_t func_idx);
+  /// Compiles one function of `module`. Const and thread-safe: touches
+  /// only the immutable target description / options and the process-wide
+  /// pass registry (built once), so background compile jobs may share one
+  /// JitCompiler across threads.
+  [[nodiscard]] JitArtifact compile(const Module& module,
+                                    uint32_t func_idx) const;
 
   /// Compiles every function; `aggregate` (optional) accumulates stats.
   [[nodiscard]] std::vector<MFunction> compile_module(
-      const Module& module, Statistics* aggregate = nullptr);
+      const Module& module, Statistics* aggregate = nullptr) const;
 
  private:
   const MachineDesc& desc_;
-  JitOptions options_;
+  const JitOptions options_;
 };
 
 }  // namespace svc

@@ -1,0 +1,118 @@
+#include "runtime/code_cache.h"
+
+namespace svc {
+
+CodeCache::Artifact CodeCache::get_or_compile(const CodeCacheKey& key,
+                                              const CompileFn& compile) {
+  std::promise<Artifact> promise;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (auto it = entries_.find(key); it != entries_.end()) {
+      stats_.add("cache.hits", 1);
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      return it->second.artifact;
+    }
+    if (auto it = inflight_.find(key); it != inflight_.end()) {
+      // Another thread is compiling this key right now: count it as a hit
+      // (no compile happens on our behalf) and join its result.
+      stats_.add("cache.hits", 1);
+      stats_.add("cache.coalesced", 1);
+      std::shared_future<Artifact> future = it->second;
+      lock.unlock();
+      return future.get();
+    }
+    stats_.add("cache.misses", 1);
+    inflight_.emplace(key, promise.get_future().share());
+  }
+
+  // Compile outside the lock so independent keys compile in parallel.
+  Artifact artifact;
+  try {
+    artifact = std::make_shared<const JitArtifact>(compile());
+  } catch (...) {
+    // Compile errors are fatal() today, but a throwing compile (bad_alloc)
+    // must not leave a poisoned in-flight slot: clear it, fail the
+    // coalesced waiters, and let a later request try again.
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      inflight_.erase(key);
+    }
+    promise.set_exception(std::current_exception());
+    throw;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.add("cache.compiles", 1);
+    insert_locked(key, artifact);
+    inflight_.erase(key);
+  }
+  // Fulfilled after the entry is visible; waiters got their future copy
+  // under the lock, so erasing the in-flight slot first is safe.
+  promise.set_value(artifact);
+  return artifact;
+}
+
+CodeCache::Artifact CodeCache::peek(const CodeCacheKey& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : it->second.artifact;
+}
+
+void CodeCache::set_code_budget(size_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  budget_ = bytes;
+  evict_to_budget_locked();
+}
+
+size_t CodeCache::code_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_;
+}
+
+size_t CodeCache::num_entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+Statistics CodeCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void CodeCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  lru_.clear();
+  bytes_ = 0;
+  stats_.set("cache.bytes", 0);
+}
+
+void CodeCache::insert_locked(const CodeCacheKey& key, Artifact artifact) {
+  lru_.push_front(key);
+  Entry entry;
+  entry.bytes = artifact->code.code_bytes();
+  entry.artifact = std::move(artifact);
+  entry.lru_it = lru_.begin();
+  bytes_ += entry.bytes;
+  entries_.emplace(key, std::move(entry));
+  evict_to_budget_locked();
+  stats_.set("cache.bytes", static_cast<int64_t>(bytes_));
+}
+
+void CodeCache::evict_to_budget_locked() {
+  // The budget is soft for a single artifact: the most recent entry stays
+  // resident even when it alone exceeds the budget (there is nothing
+  // cheaper to run instead).
+  while (bytes_ > budget_ && entries_.size() > 1) {
+    const CodeCacheKey victim = lru_.back();
+    lru_.pop_back();
+    const auto it = entries_.find(victim);
+    bytes_ -= it->second.bytes;
+    entries_.erase(it);
+    stats_.add("cache.evictions", 1);
+  }
+  stats_.set("cache.bytes", static_cast<int64_t>(bytes_));
+}
+
+}  // namespace svc

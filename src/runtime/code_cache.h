@@ -1,0 +1,110 @@
+// Shared, thread-safe cache of JIT artifacts: the code-management
+// subsystem under the tiered deployment runtime. Cores (OnlineTarget) and
+// background compile jobs key artifacts by (module identity, function
+// index, target kind, JitOptions cache key), so cores of the same kind on
+// one SoC reuse code instead of recompiling -- the O(cores x functions) ->
+// O(kinds x functions) reduction measured by tests/code_cache_test.cpp.
+//
+// Concurrency contract: every public method is safe from any thread.
+// Concurrent get_or_compile calls for the same key coalesce onto a single
+// in-flight compile (the losers wait on a shared_future), so a key is
+// compiled exactly once no matter how many cores race for it.
+//
+// Capacity: a configurable code-bytes budget with LRU eviction. Artifacts
+// are handed out as shared_ptr, so eviction never invalidates code a core
+// already holds; an evicted-then-requested key simply recompiles.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "jit/jit_compiler.h"
+
+namespace svc {
+
+/// Identity of one compiled artifact. `module` is the address of the
+/// deployed Module: modules are loaded once and must outlive every cache
+/// and target that references them (see OnlineTarget::load), so the
+/// address is a sound identity for the cache's lifetime.
+struct CodeCacheKey {
+  const void* module = nullptr;
+  uint32_t func_idx = 0;
+  TargetKind kind = TargetKind::X86Sim;
+  std::string options_key;  // JitOptions::cache_key()
+
+  friend bool operator==(const CodeCacheKey&, const CodeCacheKey&) = default;
+};
+
+struct CodeCacheKeyHash {
+  size_t operator()(const CodeCacheKey& key) const {
+    size_t h = std::hash<const void*>{}(key.module);
+    const auto mix = [&h](size_t v) {
+      h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    };
+    mix(key.func_idx);
+    mix(static_cast<size_t>(key.kind));
+    mix(std::hash<std::string>{}(key.options_key));
+    return h;
+  }
+};
+
+class CodeCache {
+ public:
+  using Artifact = std::shared_ptr<const JitArtifact>;
+  using CompileFn = std::function<JitArtifact()>;
+
+  explicit CodeCache(size_t code_budget_bytes = SIZE_MAX)
+      : budget_(code_budget_bytes) {}
+
+  /// Returns the artifact for `key`, running `compile` on a miss. Counts
+  /// "cache.hits" / "cache.misses"; concurrent same-key callers coalesce
+  /// ("cache.coalesced") and only one runs `compile` ("cache.compiles").
+  Artifact get_or_compile(const CodeCacheKey& key, const CompileFn& compile);
+
+  /// Non-compiling, non-counting probe; does not touch LRU order.
+  [[nodiscard]] Artifact peek(const CodeCacheKey& key) const;
+
+  /// Shrinks (or grows) the resident-code budget; evicts immediately when
+  /// the new budget is already exceeded.
+  void set_code_budget(size_t bytes);
+
+  /// Resident emitted-code bytes across all cached artifacts.
+  [[nodiscard]] size_t code_bytes() const;
+
+  [[nodiscard]] size_t num_entries() const;
+
+  /// Snapshot of the cache counters: cache.hits, cache.misses,
+  /// cache.compiles, cache.coalesced, cache.evictions, cache.bytes.
+  [[nodiscard]] Statistics stats() const;
+
+  /// Drops every cached artifact (in-flight compiles finish normally).
+  void clear();
+
+ private:
+  struct Entry {
+    Artifact artifact;
+    size_t bytes = 0;
+    std::list<CodeCacheKey>::iterator lru_it;
+  };
+
+  void insert_locked(const CodeCacheKey& key, Artifact artifact);
+  void evict_to_budget_locked();
+
+  mutable std::mutex mutex_;
+  size_t budget_;
+  size_t bytes_ = 0;
+  std::unordered_map<CodeCacheKey, Entry, CodeCacheKeyHash> entries_;
+  std::list<CodeCacheKey> lru_;  // front = most recently used
+  std::unordered_map<CodeCacheKey, std::shared_future<Artifact>,
+                     CodeCacheKeyHash>
+      inflight_;
+  Statistics stats_;
+};
+
+}  // namespace svc

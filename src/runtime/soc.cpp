@@ -1,18 +1,48 @@
 #include "runtime/soc.h"
 
+#include "runtime/mapper.h"
+
 namespace svc {
 
-Soc::Soc(std::vector<CoreSpec> cores, size_t memory_bytes)
-    : specs_(std::move(cores)), memory_(memory_bytes) {
+Soc::Soc(std::vector<CoreSpec> cores, size_t memory_bytes, SocOptions options)
+    : options_(options),
+      cache_(options.cache_budget_bytes),
+      specs_(std::move(cores)),
+      memory_(memory_bytes) {
+  if (options_.pool_threads > 0) {
+    pool_ = std::make_unique<ThreadPool>(options_.pool_threads);
+  }
+  const OnlineTarget::Config core_config{options_.mode,
+                                         options_.promote_threshold, &cache_,
+                                         pool_.get()};
   cores_.reserve(specs_.size());
   for (const CoreSpec& spec : specs_) {
-    cores_.push_back(std::make_unique<OnlineTarget>(spec.kind));
+    cores_.push_back(
+        std::make_unique<OnlineTarget>(spec.kind, options_.jit, core_config));
   }
 }
 
 void Soc::load(const Module& module) {
   module_ = &module;
+  // Each core's load verifies the module and fails fast on an invalid one;
+  // eager cores compile through the shared cache, so same-kind cores after
+  // the first are all hits.
   for (auto& core : cores_) core->load(module);
+
+  if (options_.mode == LoadMode::Tiered && options_.prefetch) {
+    // Annotation-driven warm-up: each function is background-compiled only
+    // on its top-ranked core -- the mapper's HardwareHints scoring applied
+    // to install time. Same-kind cores share the resulting artifact via
+    // the cache when they promote later.
+    for (uint32_t f = 0; f < module.num_functions(); ++f) {
+      const size_t best = rank_cores(*this, module.function(f)).front().core;
+      cores_[best]->request_compile(f);
+    }
+  }
+}
+
+void Soc::wait_warmup() {
+  if (pool_) pool_->wait_idle();
 }
 
 SimResult Soc::run_on(size_t c, std::string_view name,

@@ -3,12 +3,23 @@
 // per-ISA JIT over the *same* deployed bytecode module. Accelerator cores
 // (spusim) reach memory through a DMA model whose cost the scheduler
 // charges explicitly -- the stand-in for the Cell local-store transfers.
+//
+// Code management is shared: one thread-safe CodeCache (and, optionally,
+// one background-compile ThreadPool) spans all cores, so cores of the same
+// TargetKind + JitOptions reuse JIT artifacts instead of recompiling --
+// load()'s compile count drops from O(cores x functions) to
+// O(kinds x functions). Tiered mode starts interpreting immediately and
+// warms up in the background; prefetch applies the paper's
+// annotations-drive-mapping story to warm-up, background-compiling each
+// function only on its top-ranked core (mapper.h rank_cores).
 #pragma once
 
 #include <memory>
 #include <vector>
 
 #include "driver/online_compiler.h"
+#include "runtime/code_cache.h"
+#include "support/thread_pool.h"
 
 namespace svc {
 
@@ -17,11 +28,36 @@ struct CoreSpec {
   bool is_accelerator = false;  // memory reached via DMA
 };
 
+struct SocOptions {
+  JitOptions jit;
+  LoadMode mode = LoadMode::Eager;
+  // Tiered warm-up prefetch: at load, background-compile each function on
+  // its top-ranked core per the HardwareHints annotations (no-op in eager
+  // mode, where everything compiles anyway).
+  bool prefetch = false;
+  // Calls of a function on a core before its JIT compile is requested.
+  uint32_t promote_threshold = 1;
+  // Background compile workers; 0 = no pool, tier-up compiles run
+  // synchronously at the promotion threshold.
+  size_t pool_threads = 0;
+  // Shared-cache resident-code budget (LRU eviction above it).
+  size_t cache_budget_bytes = SIZE_MAX;
+};
+
 class Soc {
  public:
-  Soc(std::vector<CoreSpec> cores, size_t memory_bytes);
+  Soc(std::vector<CoreSpec> cores, size_t memory_bytes,
+      SocOptions options = {});
 
-  /// JIT-compiles `module` on every core (each for its own ISA).
+  /// Loads `module` on every core through the shared cache. The module is
+  /// verified (fatal on an invalid module); eager mode compiles every
+  /// function per *kind* now, tiered mode defers to run_on and -- with
+  /// options.prefetch -- enqueues one background compile per function on
+  /// its best core.
+  ///
+  /// Lifetime invariant: only a pointer is retained and the shared cache
+  /// keys artifacts by the module's address; `module` must outlive this
+  /// Soc and must not be mutated after loading.
   void load(const Module& module);
 
   [[nodiscard]] size_t num_cores() const { return cores_.size(); }
@@ -30,6 +66,17 @@ class Soc {
   [[nodiscard]] const OnlineTarget& core(size_t c) const { return *cores_[c]; }
   [[nodiscard]] Memory& memory() { return memory_; }
   [[nodiscard]] const Module* module() const { return module_; }
+  [[nodiscard]] const SocOptions& options() const { return options_; }
+
+  /// The cache shared by every core's JIT.
+  [[nodiscard]] CodeCache& code_cache() { return cache_; }
+  [[nodiscard]] const CodeCache& code_cache() const { return cache_; }
+
+  /// Background compile pool, or nullptr when options.pool_threads == 0.
+  [[nodiscard]] ThreadPool* pool() { return pool_.get(); }
+
+  /// Blocks until every in-flight background compile has finished.
+  void wait_warmup();
 
   /// Runs `name` synchronously on core `c`.
   [[nodiscard]] SimResult run_on(size_t c, std::string_view name,
@@ -46,6 +93,12 @@ class Soc {
   }
 
  private:
+  SocOptions options_;
+  // Destruction order matters: cores_ is declared after cache_/pool_ so it
+  // is destroyed first -- each ~OnlineTarget drains its in-flight compile
+  // jobs while the pool workers and the cache are still alive.
+  CodeCache cache_;
+  std::unique_ptr<ThreadPool> pool_;
   std::vector<CoreSpec> specs_;
   std::vector<std::unique_ptr<OnlineTarget>> cores_;
   Memory memory_;

@@ -1,0 +1,70 @@
+// Fixed-size worker pool executing background jobs with futures. The
+// deployment runtime uses it for tier-up JIT compiles (code_cache.h /
+// online_compiler.h): enqueue a compile, keep interpreting, poll the
+// future. Deliberately minimal -- a FIFO queue, no priorities, no work
+// stealing -- because compile jobs are coarse and rare.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "support/diagnostics.h"
+
+namespace svc {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least one).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Finishes every queued job, then joins the workers. No job future is
+  /// ever broken by shutdown.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues `fn` for execution on a worker; the returned future resolves
+  /// with its result. Safe to call from any thread, including workers.
+  template <typename Fn>
+  auto submit(Fn fn) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::move(fn));
+    std::future<R> future = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopped_) fatal("ThreadPool::submit after shutdown");
+      queue_.push([task] { (*task)(); });
+      ++outstanding_;
+    }
+    ready_.notify_one();
+    return future;
+  }
+
+  /// Blocks until every submitted job has finished (queue drained and no
+  /// worker mid-job). Jobs may be submitted again afterwards. Must not be
+  /// called from a worker (it would wait on itself).
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable ready_;
+  std::condition_variable idle_;
+  std::queue<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  size_t outstanding_ = 0;  // queued + running
+  bool stopped_ = false;
+};
+
+}  // namespace svc

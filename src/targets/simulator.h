@@ -44,6 +44,10 @@ struct SimResult {
   Value value;  // return value (Void -> default)
   TrapKind trap = TrapKind::None;
   SimStats stats;
+  // True when the tiered runtime served this call from the tier-0
+  // interpreter (cycles then follow the deterministic interpreter cost
+  // model, see online_compiler.h) instead of JITed code.
+  bool interpreted = false;
 
   [[nodiscard]] bool ok() const { return trap == TrapKind::None; }
 };

@@ -1,0 +1,473 @@
+// The code-management subsystem under the tiered deployment runtime:
+// ThreadPool, CodeCache keying/coalescing/eviction, tiered OnlineTarget
+// promotion, and the shared-cache Soc. Acceptance properties from ISSUE 2:
+//  - tiered/cached execution is bit-identical to eager load() output for
+//    every target kind;
+//  - concurrent Soc::load warm-up + run_on is race-free (the TSan CI job
+//    runs this binary);
+//  - same-kind cores on one Soc produce exactly one compile per function
+//    (O(cores x functions) -> O(kinds x functions)).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "driver/kernels.h"
+#include "driver/offline_compiler.h"
+#include "runtime/code_cache.h"
+#include "runtime/mapper.h"
+#include "runtime/soc.h"
+#include "support/thread_pool.h"
+#include "test_util.h"
+
+namespace svc {
+namespace {
+
+using namespace ::svc::testing;
+
+TEST(ThreadPool, RunsJobsAndWaitsIdle) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  std::atomic<int> counter{0};
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.submit([&counter, i] {
+      counter.fetch_add(1, std::memory_order_relaxed);
+      return i * i;
+    }));
+  }
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(futures[i].get(), i * i);
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 64);
+  // The pool accepts work again after an idle period.
+  EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(JitOptions, CacheKeyCanonicalization) {
+  const JitOptions lscan(AllocPolicy::LinearScan, true);
+  EXPECT_EQ(lscan.cache_key(),
+            JitOptions(AllocPolicy::LinearScan, true).cache_key());
+  EXPECT_NE(lscan.cache_key(),
+            JitOptions(AllocPolicy::SplitGuided, true).cache_key());
+  EXPECT_NE(lscan.cache_key(),
+            JitOptions(AllocPolicy::LinearScan, false).cache_key());
+
+  JitOptions custom;
+  custom.pipeline = PipelineSpec::parse("stack_to_reg,regalloc");
+  ASSERT_TRUE(custom.pipeline.has_value());
+  EXPECT_NE(custom.cache_key(), lscan.cache_key());
+  // The default-pipeline sentinel is spelled out, not empty.
+  EXPECT_NE(lscan.cache_key().find("default"), std::string::npos);
+}
+
+CodeCacheKey key_for(const Module& m, uint32_t idx, TargetKind kind,
+                     const JitOptions& options = {}) {
+  return CodeCacheKey{&m, idx, kind, options.cache_key()};
+}
+
+TEST(CodeCache, HitMissAndKeying) {
+  Module m;
+  m.add_function(build_scalar_saxpy());
+  m.add_function(build_high_pressure());
+  const JitCompiler jit(target_desc(TargetKind::X86Sim));
+  CodeCache cache;
+  const auto compile0 = [&] { return jit.compile(m, 0); };
+
+  const auto first = cache.get_or_compile(key_for(m, 0, TargetKind::X86Sim),
+                                          compile0);
+  const auto again = cache.get_or_compile(key_for(m, 0, TargetKind::X86Sim),
+                                          compile0);
+  EXPECT_EQ(first.get(), again.get());  // same artifact object
+  EXPECT_EQ(cache.stats().get("cache.misses"), 1);
+  EXPECT_EQ(cache.stats().get("cache.hits"), 1);
+  EXPECT_EQ(cache.stats().get("cache.compiles"), 1);
+
+  // Different function, target kind, or options: distinct entries.
+  (void)cache.get_or_compile(key_for(m, 1, TargetKind::X86Sim),
+                             [&] { return jit.compile(m, 1); });
+  const JitCompiler sparc(target_desc(TargetKind::SparcSim));
+  (void)cache.get_or_compile(key_for(m, 0, TargetKind::SparcSim),
+                             [&] { return sparc.compile(m, 0); });
+  const JitOptions naive(AllocPolicy::NaiveOnline, true);
+  const JitCompiler naive_jit(target_desc(TargetKind::X86Sim), naive);
+  (void)cache.get_or_compile(key_for(m, 0, TargetKind::X86Sim, naive),
+                             [&] { return naive_jit.compile(m, 0); });
+  EXPECT_EQ(cache.num_entries(), 4u);
+  EXPECT_EQ(cache.stats().get("cache.compiles"), 4);
+  EXPECT_EQ(cache.stats().get("cache.bytes"),
+            static_cast<int64_t>(cache.code_bytes()));
+}
+
+TEST(CodeCache, LruEvictionRespectsBudget) {
+  Module m;
+  m.add_function(build_scalar_saxpy());
+  m.add_function(build_high_pressure());
+  m.add_function(build_branchy_max_u8());
+  const JitCompiler jit(target_desc(TargetKind::SparcSim));
+  CodeCache cache;
+  std::vector<size_t> bytes;
+  for (uint32_t i = 0; i < 3; ++i) {
+    bytes.push_back(cache
+                        .get_or_compile(key_for(m, i, TargetKind::SparcSim),
+                                        [&] { return jit.compile(m, i); })
+                        ->code.code_bytes());
+  }
+  ASSERT_EQ(cache.num_entries(), 3u);
+
+  // Shrink so only the two most recent fit: function 0 (LRU tail) goes.
+  cache.set_code_budget(bytes[1] + bytes[2]);
+  EXPECT_EQ(cache.num_entries(), 2u);
+  EXPECT_EQ(cache.stats().get("cache.evictions"), 1);
+  EXPECT_EQ(cache.peek(key_for(m, 0, TargetKind::SparcSim)), nullptr);
+  EXPECT_NE(cache.peek(key_for(m, 2, TargetKind::SparcSim)), nullptr);
+  EXPECT_LE(cache.code_bytes(), bytes[1] + bytes[2]);
+
+  // An evicted key recompiles on demand (a new miss).
+  (void)cache.get_or_compile(key_for(m, 0, TargetKind::SparcSim),
+                             [&] { return jit.compile(m, 0); });
+  EXPECT_EQ(cache.stats().get("cache.misses"), 4);
+  // The single-entry floor: a budget below any artifact keeps the most
+  // recent entry resident rather than thrashing to empty.
+  cache.set_code_budget(1);
+  EXPECT_EQ(cache.num_entries(), 1u);
+  EXPECT_NE(cache.peek(key_for(m, 0, TargetKind::SparcSim)), nullptr);
+}
+
+TEST(CodeCache, ConcurrentSameKeyCompilesOnce) {
+  Module m;
+  m.add_function(build_scalar_saxpy());
+  const JitCompiler jit(target_desc(TargetKind::X86Sim));
+  CodeCache cache;
+  std::atomic<int> compiles{0};
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::vector<CodeCache::Artifact> results(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      results[t] =
+          cache.get_or_compile(key_for(m, 0, TargetKind::X86Sim), [&] {
+            compiles.fetch_add(1, std::memory_order_relaxed);
+            return jit.compile(m, 0);
+          });
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(compiles.load(), 1);
+  EXPECT_EQ(cache.stats().get("cache.compiles"), 1);
+  EXPECT_EQ(cache.stats().get("cache.misses"), 1);
+  EXPECT_EQ(cache.stats().get("cache.hits"), kThreads - 1);
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(results[t].get(), results[0].get());
+  }
+}
+
+// --- Tiered OnlineTarget -------------------------------------------------
+
+/// Runs `name` and compares return value and memory image against the
+/// reference interpreter.
+void expect_matches_interpreter(OnlineTarget& target, const Module& m,
+                                std::string_view name,
+                                const std::vector<Value>& args,
+                                const std::function<void(Memory&)>& setup) {
+  Memory ref_mem(1 << 20);
+  setup(ref_mem);
+  Interpreter interp(m, ref_mem);
+  const ExecResult ref = interp.run(name, args);
+  ASSERT_TRUE(ref.ok()) << ref.trap_message();
+
+  Memory mem(1 << 20);
+  setup(mem);
+  const SimResult got = target.run(name, args, mem);
+  ASSERT_TRUE(got.ok());
+  if (ref.value.has_value() && ref.value->type != Type::Void) {
+    EXPECT_EQ(*ref.value, got.value) << target.desc().name;
+  }
+  EXPECT_TRUE(std::equal(ref_mem.bytes().begin(), ref_mem.bytes().end(),
+                         mem.bytes().begin()))
+      << target.desc().name << ": memory diverged";
+}
+
+TEST(TieredTarget, BitIdenticalToEagerForEveryTargetKind) {
+  Module m;
+  m.add_function(build_scalar_saxpy());
+  m.add_function(build_vector_dot_f32());
+  expect_verifies(m);
+  const auto setup = [](Memory& mem) {
+    for (uint32_t i = 0; i < 64; ++i) {
+      mem.write_f32(1024 + 4 * i, 0.5f + static_cast<float>(i));
+      mem.write_f32(4096 + 4 * i, 1.5f * static_cast<float>(i));
+    }
+  };
+  const std::vector<Value> saxpy_args = {
+      Value::make_f32(2.0f), Value::make_i32(1024), Value::make_i32(4096),
+      Value::make_i32(64)};
+  const std::vector<Value> dot_args = {Value::make_i32(1024),
+                                       Value::make_i32(4096),
+                                       Value::make_i32(16)};
+
+  for (const TargetKind kind : all_targets()) {
+    // Eager reference output for this kind.
+    OnlineTarget eager(kind);
+    eager.load(m);
+    Memory eager_mem(1 << 20);
+    setup(eager_mem);
+    const SimResult eager_dot = eager.run("vdot_f32", dot_args, eager_mem);
+    ASSERT_TRUE(eager_dot.ok());
+
+    // Tier 1 from call one (synchronous promotion at threshold 1).
+    OnlineTarget::Config hot;
+    hot.mode = LoadMode::Tiered;
+    OnlineTarget tiered(kind, {}, hot);
+    tiered.load(m);
+    expect_matches_interpreter(tiered, m, "saxpy", saxpy_args, setup);
+    expect_matches_interpreter(tiered, m, "vdot_f32", dot_args, setup);
+
+    // Tier 0 throughout (threshold never reached): still identical.
+    OnlineTarget::Config cold;
+    cold.mode = LoadMode::Tiered;
+    cold.promote_threshold = 1000;
+    OnlineTarget interp_only(kind, {}, cold);
+    interp_only.load(m);
+    expect_matches_interpreter(interp_only, m, "saxpy", saxpy_args, setup);
+    expect_matches_interpreter(interp_only, m, "vdot_f32", dot_args, setup);
+    EXPECT_EQ(interp_only.jitted_calls(), 0u);
+
+    // And the promoted target's simulated cycles equal eager's: the same
+    // artifact bits run in both.
+    Memory tiered_mem(1 << 20);
+    setup(tiered_mem);
+    const SimResult tiered_dot = tiered.run("vdot_f32", dot_args, tiered_mem);
+    ASSERT_TRUE(tiered_dot.ok());
+    EXPECT_FALSE(tiered_dot.interpreted);
+    EXPECT_EQ(tiered_dot.stats.cycles, eager_dot.stats.cycles);
+    EXPECT_EQ(tiered_dot.value, eager_dot.value);
+  }
+}
+
+TEST(TieredTarget, PromotionThresholdCountsCalls) {
+  Module m = build_call_module();
+  expect_verifies(m);
+  OnlineTarget::Config config;
+  config.mode = LoadMode::Tiered;
+  config.promote_threshold = 3;
+  OnlineTarget target(TargetKind::X86Sim, {}, config);
+  target.load(m);
+  Memory mem(1 << 16);
+  const std::vector<Value> args = {Value::make_i32(5)};
+
+  // Calls 1 and 2: below threshold, no compile requested, interpreted.
+  for (int call = 0; call < 2; ++call) {
+    const SimResult r = target.run("combine", args, mem);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r.interpreted);
+    EXPECT_EQ(r.value.i32, 5 + 2 + 3 + 4);
+    EXPECT_GT(r.stats.cycles, 0u);  // interpreter cost model charges steps
+  }
+  const auto combine_idx = m.find_function("combine");
+  ASSERT_TRUE(combine_idx.has_value());
+  EXPECT_FALSE(target.jit_ready(*combine_idx));
+
+  // Call 3 reaches the threshold; with no pool the compile is synchronous,
+  // and promotion covers the callee (add2) too.
+  const SimResult r3 = target.run("combine", args, mem);
+  ASSERT_TRUE(r3.ok());
+  EXPECT_FALSE(r3.interpreted);
+  EXPECT_EQ(r3.value.i32, 14);
+  EXPECT_TRUE(target.jit_ready(*combine_idx));
+  EXPECT_EQ(target.interpreted_calls(), 2u);
+  EXPECT_EQ(target.jitted_calls(), 1u);
+  EXPECT_GT(target.code_bytes(), 0u);
+}
+
+TEST(TieredTarget, BackgroundPromotionViaPool) {
+  Module m;
+  m.add_function(build_high_pressure());
+  expect_verifies(m);
+  ThreadPool pool(2);
+  CodeCache cache;
+  OnlineTarget::Config config;
+  config.mode = LoadMode::Tiered;
+  config.cache = &cache;
+  config.pool = &pool;
+  OnlineTarget target(TargetKind::PpcSim, {}, config);
+  target.load(m);
+
+  Memory mem(1 << 16);
+  for (uint32_t i = 0; i < 16; ++i) mem.write_i32(4 * i, 3);
+  // First call requests the background compile; whichever tier serves it,
+  // the value must be right.
+  const SimResult first =
+      target.run("pressure16", {Value::make_i32(0)}, mem);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.value.i32, 48);
+
+  pool.wait_idle();
+  ASSERT_TRUE(target.jit_ready(0));
+  const SimResult warm = target.run("pressure16", {Value::make_i32(0)}, mem);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_FALSE(warm.interpreted);
+  EXPECT_EQ(warm.value.i32, 48);
+  EXPECT_EQ(cache.stats().get("cache.compiles"), 1);
+}
+
+// --- Shared-cache Soc ----------------------------------------------------
+
+TEST(SocCache, SameKindCoresCompileEachFunctionOnce) {
+  const Module m = compile_or_die(fir_source());  // fir4, gain, energy
+  const int64_t fns = static_cast<int64_t>(m.num_functions());
+  // Four cores, two kinds: compile count must be per kind, not per core.
+  Soc soc({{TargetKind::X86Sim, false},
+           {TargetKind::X86Sim, false},
+           {TargetKind::PpcSim, false},
+           {TargetKind::PpcSim, false}},
+          1 << 20);
+  soc.load(m);
+
+  const Statistics stats = soc.code_cache().stats();
+  EXPECT_EQ(stats.get("cache.compiles"), 2 * fns);
+  EXPECT_EQ(stats.get("cache.misses"), 2 * fns);
+  EXPECT_EQ(stats.get("cache.hits"), 2 * fns);  // second core of each kind
+  EXPECT_EQ(stats.get("cache.evictions"), 0);
+
+  // Same-kind cores run the same bits; different kinds differ.
+  EXPECT_EQ(soc.core(0).code_bytes(), soc.core(1).code_bytes());
+  EXPECT_EQ(soc.core(2).code_bytes(), soc.core(3).code_bytes());
+  for (uint32_t i = 0; i < 64; ++i) {
+    soc.memory().write_f32(256 + 4 * i, 1.0f);
+  }
+  const SimResult a = soc.run_on(0, "energy",
+                                 {Value::make_i32(256), Value::make_i32(64)});
+  const SimResult b = soc.run_on(1, "energy",
+                                 {Value::make_i32(256), Value::make_i32(64)});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value, b.value);
+  EXPECT_EQ(a.stats.cycles, b.stats.cycles);
+}
+
+TEST(SocCache, PrefetchWarmsTopRankedCoreOnly) {
+  const Module m = compile_or_die(fir_source());
+  SocOptions options;
+  options.mode = LoadMode::Tiered;
+  options.prefetch = true;
+  options.pool_threads = 2;
+  Soc soc({{TargetKind::PpcSim, false}, {TargetKind::SpuSim, true}}, 1 << 20,
+          options);
+  soc.load(m);
+  soc.wait_warmup();
+
+  // Prefetch compiled each function exactly once, on one core.
+  EXPECT_EQ(soc.code_cache().stats().get("cache.compiles"),
+            static_cast<int64_t>(m.num_functions()));
+
+  // The top-ranked core for each function answers its first call in JITed
+  // code -- no first-call latency on the core the mapper picked.
+  for (uint32_t f = 0; f < m.num_functions(); ++f) {
+    const size_t best = choose_core(soc, m.function(f));
+    EXPECT_TRUE(soc.core(best).jit_ready(f)) << m.function(f).name();
+  }
+}
+
+TEST(SocCache, ConcurrentWarmupAndRunIsRaceFree) {
+  // The TSan acceptance scenario: tiered load with background prefetch in
+  // flight while several threads hammer run_on across cores. pressure16
+  // only reads memory, so concurrent simulations share it safely.
+  Module m;
+  m.add_function(build_high_pressure());
+  expect_verifies(m);
+
+  SocOptions options;
+  options.mode = LoadMode::Tiered;
+  options.prefetch = true;
+  options.pool_threads = 3;
+  Soc soc({{TargetKind::X86Sim, false},
+           {TargetKind::X86Sim, false},
+           {TargetKind::PpcSim, false},
+           {TargetKind::SpuSim, true}},
+          1 << 16, options);
+  for (uint32_t i = 0; i < 16; ++i) soc.memory().write_i32(4 * i, 7);
+  soc.load(m);
+
+  constexpr int kThreads = 8;
+  constexpr int kCallsPerThread = 25;
+  std::atomic<int> wrong{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int call = 0; call < kCallsPerThread; ++call) {
+        const size_t core = static_cast<size_t>(t) % soc.num_cores();
+        const SimResult r =
+            soc.run_on(core, "pressure16", {Value::make_i32(0)});
+        if (!r.ok() || r.value.i32 != 16 * 7) {
+          wrong.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(wrong.load(), 0);
+
+  soc.wait_warmup();
+  // Steady state: every core answers in JITed code and the total call
+  // count reconciles.
+  uint64_t interpreted = 0, jitted = 0;
+  for (size_t c = 0; c < soc.num_cores(); ++c) {
+    const SimResult r = soc.run_on(c, "pressure16", {Value::make_i32(0)});
+    ASSERT_TRUE(r.ok());
+    EXPECT_FALSE(r.interpreted);
+    interpreted += soc.core(c).interpreted_calls();
+    jitted += soc.core(c).jitted_calls();
+  }
+  EXPECT_EQ(interpreted + jitted,
+            static_cast<uint64_t>(kThreads * kCallsPerThread) +
+                soc.num_cores());
+}
+
+TEST(SocCache, DestructionWithInFlightCompilesIsSafe) {
+  // Tear a tiered Soc down immediately after prefetch enqueued background
+  // jobs: ~OnlineTarget must drain them while the pool is still alive
+  // (TSan/ASan would flag a use-after-free regression here).
+  const Module m = compile_or_die(fir_source());
+  for (int round = 0; round < 5; ++round) {
+    SocOptions options;
+    options.mode = LoadMode::Tiered;
+    options.prefetch = true;
+    options.pool_threads = 2;
+    Soc soc({{TargetKind::X86Sim, false}, {TargetKind::PpcSim, false}},
+            1 << 16, options);
+    soc.load(m);
+    // No wait_warmup(): the Soc dies with compiles in flight.
+  }
+}
+
+TEST(TieredTarget, QueriesBeforeLoadAreSafe) {
+  OnlineTarget::Config config;
+  config.mode = LoadMode::Tiered;
+  OnlineTarget target(TargetKind::X86Sim, {}, config);
+  EXPECT_FALSE(target.jit_ready(0));
+  target.request_compile(0);  // no-op, not UB
+  EXPECT_EQ(target.code_bytes(), 0u);
+}
+
+TEST(SocCache, LoadFailsFastOnInvalidModule) {
+  Module bad;
+  Function broken("broken", {{}, Type::I32});
+  broken.add_block();  // empty entry block: no terminator -> invalid
+  bad.add_function(std::move(broken));
+
+  EXPECT_DEATH(
+      {
+        OnlineTarget target(TargetKind::X86Sim);
+        target.load(bad);
+      },
+      "invalid module");
+  EXPECT_DEATH(
+      {
+        Soc soc({{TargetKind::X86Sim, false}}, 1 << 12);
+        soc.load(bad);
+      },
+      "invalid module");
+}
+
+}  // namespace
+}  // namespace svc

@@ -1,0 +1,178 @@
+// Runtime-layer unit tests: mapper affinity/ranking math (HardwareHints
+// vs. core specs) and the dataflow Pipeline timing model (latency /
+// bottleneck formulas), both isolated from the compilers -- annotations
+// are hand-encoded and pipeline stages return synthetic SimResults.
+#include <gtest/gtest.h>
+
+#include "runtime/dataflow.h"
+#include "runtime/mapper.h"
+#include "test_util.h"
+
+namespace svc {
+namespace {
+
+using namespace ::svc::testing;
+
+Function with_hints(uint32_t features, uint32_t vector_intensity) {
+  Function fn = build_scalar_saxpy();
+  HardwareHintsInfo hints;
+  hints.features = features;
+  hints.vector_intensity = vector_intensity;
+  fn.annotations().push_back(hints.encode());
+  return fn;
+}
+
+// x86 host, ppc host, spu accelerator: the spread of SIMD / FMA /
+// mispredict-penalty combinations the affinity terms key on.
+Soc make_soc() {
+  return Soc({{TargetKind::X86Sim, false},
+              {TargetKind::PpcSim, false},
+              {TargetKind::SpuSim, true}},
+             1 << 12);
+}
+
+TEST(Mapper, AffinityMatchesFormulaPerTerm) {
+  Soc soc = make_soc();
+
+  // No annotation: base score, minus only the accelerator DMA bias.
+  Module plain;
+  plain.add_function(build_scalar_saxpy());
+  EXPECT_DOUBLE_EQ(core_affinity(soc, 0, plain.function(0)), 1.0);
+  EXPECT_DOUBLE_EQ(core_affinity(soc, 1, plain.function(0)), 1.0);
+  EXPECT_DOUBLE_EQ(core_affinity(soc, 2, plain.function(0)), 0.75);
+
+  // Saturated vector intensity: +2.0 on SIMD cores, -0.3 scalarization
+  // drag elsewhere.
+  Module vec;
+  vec.add_function(with_hints(kFeatureSimd, 10));
+  EXPECT_DOUBLE_EQ(core_affinity(soc, 0, vec.function(0)), 3.0);
+  EXPECT_DOUBLE_EQ(core_affinity(soc, 1, vec.function(0)), 0.7);
+  EXPECT_DOUBLE_EQ(core_affinity(soc, 2, vec.function(0)), 2.75);
+
+  // Half intensity scales both terms linearly.
+  Module vec_half;
+  vec_half.add_function(with_hints(kFeatureSimd, 5));
+  EXPECT_DOUBLE_EQ(core_affinity(soc, 0, vec_half.function(0)), 2.0);
+  EXPECT_DOUBLE_EQ(core_affinity(soc, 1, vec_half.function(0)), 0.85);
+
+  // Float work: +0.5 only on FMA cores (ppc, spu).
+  Module flt;
+  flt.add_function(with_hints(kFeatureFloat, 0));
+  EXPECT_DOUBLE_EQ(core_affinity(soc, 0, flt.function(0)), 1.0);
+  EXPECT_DOUBLE_EQ(core_affinity(soc, 1, flt.function(0)), 1.5);
+  EXPECT_DOUBLE_EQ(core_affinity(soc, 2, flt.function(0)), 1.25);
+
+  // Control-heavy work is charged the core's mispredict penalty.
+  Module ctl;
+  ctl.add_function(with_hints(kFeatureControlHeavy, 0));
+  for (size_t c = 0; c < soc.num_cores(); ++c) {
+    const double accel_bias = soc.core_spec(c).is_accelerator ? 0.25 : 0.0;
+    EXPECT_DOUBLE_EQ(
+        core_affinity(soc, c, ctl.function(0)),
+        1.0 - 0.15 * soc.core(c).desc().mispredict_penalty - accel_bias);
+  }
+}
+
+TEST(Mapper, RankCoversAllCoresSortedDescending) {
+  Soc soc = make_soc();
+  Module m;
+  m.add_function(with_hints(kFeatureSimd | kFeatureFloat, 7));
+  const std::vector<MappingScore> ranked = rank_cores(soc, m.function(0));
+  ASSERT_EQ(ranked.size(), soc.num_cores());
+  std::vector<bool> seen(soc.num_cores(), false);
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    seen[ranked[i].core] = true;
+    EXPECT_DOUBLE_EQ(ranked[i].score,
+                     core_affinity(soc, ranked[i].core, m.function(0)));
+    if (i > 0) EXPECT_GE(ranked[i - 1].score, ranked[i].score);
+  }
+  for (const bool s : seen) EXPECT_TRUE(s);
+  EXPECT_EQ(choose_core(soc, m.function(0)), ranked.front().core);
+}
+
+TEST(Mapper, FeatureRoutingAcrossCores) {
+  Soc soc = make_soc();
+  Module vec;
+  vec.add_function(with_hints(kFeatureSimd, 10));
+  // SIMD host beats the SIMD accelerator (DMA bias) beats the scalar host.
+  const auto ranked = rank_cores(soc, vec.function(0));
+  EXPECT_EQ(ranked[0].core, 0u);
+  EXPECT_EQ(ranked[1].core, 2u);
+  EXPECT_EQ(ranked[2].core, 1u);
+
+  Module ctl;
+  ctl.add_function(with_hints(kFeatureControlHeavy, 0));
+  // Branchy code lands on the shallow-pipeline host; the deep-pipeline
+  // accelerator comes last.
+  EXPECT_EQ(choose_core(soc, ctl.function(0)), 1u);
+  EXPECT_EQ(rank_cores(soc, ctl.function(0)).back().core, 2u);
+
+  // Ties between identical hosts resolve to the first core (stable sort).
+  Soc twins({{TargetKind::PpcSim, false}, {TargetKind::PpcSim, false}},
+            1 << 12);
+  Module plain;
+  plain.add_function(build_scalar_saxpy());
+  EXPECT_EQ(choose_core(twins, plain.function(0)), 0u);
+}
+
+// --- Dataflow timing -----------------------------------------------------
+
+SimResult firing(uint64_t cycles) {
+  SimResult r;
+  r.stats.cycles = cycles;
+  return r;
+}
+
+TEST(Dataflow, LatencyAndBottleneckFormulas) {
+  Soc soc = make_soc();
+  soc.set_dma_model(100, 4);
+  Pipeline pipeline(soc);
+  pipeline.add_stage({"a", 0, 0, [] { return firing(100); }});
+  pipeline.add_stage({"b", 1, 512, [] { return firing(40); }});  // host: no DMA
+  pipeline.add_stage({"c", 2, 64, [] { return firing(250); }});  // accelerator
+
+  const PipelineReport report = pipeline.run(5);
+  ASSERT_EQ(report.stages.size(), 3u);
+  EXPECT_EQ(report.stages[0].dma_cycles, 0u);
+  // Host stages pay no DMA even with a nonzero per-block byte count.
+  EXPECT_EQ(report.stages[1].dma_cycles, 0u);
+  // Accelerator: in + out transfers, each setup + bytes/rate.
+  EXPECT_EQ(report.stages[2].dma_cycles, 2 * (100 + 64 / 4));
+  EXPECT_EQ(report.stages[2].total_cycles(), 250u + 232u);
+
+  EXPECT_EQ(report.latency_cycles, 100u + 40u + 482u);
+  EXPECT_EQ(report.bottleneck_cycles(), 482u);
+  EXPECT_EQ(report.steady_total_cycles,
+            report.latency_cycles + 4 * report.bottleneck_cycles());
+}
+
+TEST(Dataflow, SingleBlockAndZeroBlockEdges) {
+  Soc soc = make_soc();
+  Pipeline pipeline(soc);
+  pipeline.add_stage({"only", 0, 0, [] { return firing(77); }});
+  const PipelineReport one = pipeline.run(1);
+  EXPECT_EQ(one.latency_cycles, 77u);
+  EXPECT_EQ(one.steady_total_cycles, one.latency_cycles);
+
+  Pipeline again(soc);
+  again.add_stage({"only", 0, 0, [] { return firing(77); }});
+  const PipelineReport zero = again.run(0);
+  EXPECT_EQ(zero.steady_total_cycles, zero.latency_cycles);
+}
+
+TEST(Dataflow, BottleneckDominatesSteadyState) {
+  Soc soc = make_soc();
+  Pipeline pipeline(soc);
+  pipeline.add_stage({"fast", 0, 0, [] { return firing(10); }});
+  pipeline.add_stage({"slow", 1, 0, [] { return firing(1000); }});
+  const uint64_t blocks = 100;
+  const PipelineReport report = pipeline.run(blocks);
+  // Pipelined: everything except the first block hides behind the slow
+  // stage.
+  EXPECT_EQ(report.steady_total_cycles, 1010 + (blocks - 1) * 1000);
+  // Not pipelined it would cost blocks * latency; the model must beat it.
+  EXPECT_LT(report.steady_total_cycles, blocks * report.latency_cycles);
+}
+
+}  // namespace
+}  // namespace svc
