@@ -1,0 +1,221 @@
+// Steady-state throughput of tier 1 (fast first JIT) vs tier 2
+// (profile-guided re-specialization) on the heterogeneous pipeline
+// workload: the FIR chain (fir4 -> gain -> energy) plus a register-hungry
+// accumulator kernel, run on every core of a 4-kind SoC.
+//
+// Both configurations run the identical call sequence; results must match
+// bit for bit (the runtime's cross-tier identity contract) and the bench
+// aborts if they do not. What may differ is timing: tier 2 re-runs the
+// JIT for hot functions with a profile-derived pipeline and -- where the
+// observed register demand overcommits a class -- the offline-quality
+// Chaitin allocator, so spill-bound kernels speed up on the small
+// register files (x86sim/sparcsim) and stay put on the large ones.
+//
+// Registered in CMake as a ctest smoke target; sizes keep a full run well
+// under a second.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "driver/kernels.h"
+#include "runtime/soc.h"
+
+namespace {
+
+using namespace svc;
+using namespace svc::bench;
+
+constexpr int kElems = 256;
+constexpr uint32_t kIn = 4096;    // f32 input samples (kElems + 1)
+constexpr uint32_t kOut = 16384;  // f32 pipeline buffer
+constexpr int kWarmCalls = 12;    // past promote (2) and tier-2 (4) gates
+constexpr int kSteadyReps = 8;
+
+// The FIR chain plus a 12-accumulator reduction: enough simultaneously
+// live f32 values to overcommit the 14-register float files but not the
+// 24/40-register ones, so the tier-2 allocator upgrade is per-ISA.
+std::string workload_source() {
+  std::string source(fir_source());
+  source += R"(
+fn acc12(x: *f32, n: i32) -> f32 {
+  var a0: f32 = 0.0;  var a1: f32 = 0.0;  var a2: f32 = 0.0;
+  var a3: f32 = 0.0;  var a4: f32 = 0.0;  var a5: f32 = 0.0;
+  var a6: f32 = 0.0;  var a7: f32 = 0.0;  var a8: f32 = 0.0;
+  var a9: f32 = 0.0;  var a10: f32 = 0.0; var a11: f32 = 0.0;
+  var i: i32 = 0;
+  while (i < n) {
+    a0 = a0 + x[i];
+    a1 = a1 + x[i + 1];
+    a2 = a2 + x[i + 2];
+    a3 = a3 + x[i + 3];
+    a4 = a4 + x[i + 4];
+    a5 = a5 + x[i + 5];
+    a6 = a6 + x[i + 6];
+    a7 = a7 + x[i + 7];
+    a8 = a8 + x[i + 8];
+    a9 = a9 + x[i + 9];
+    a10 = a10 + x[i + 10];
+    a11 = a11 + x[i + 11];
+    i = i + 12;
+  }
+  return ((a0 + a1) + (a2 + a3)) + ((a4 + a5) + (a6 + a7)) +
+         ((a8 + a9) + (a10 + a11));
+}
+)";
+  return source;
+}
+
+std::vector<CoreSpec> soc_cores() {
+  return {{TargetKind::X86Sim, false},
+          {TargetKind::SparcSim, false},
+          {TargetKind::PpcSim, false},
+          {TargetKind::SpuSim, true}};
+}
+
+struct Call {
+  const char* fn;
+  std::vector<Value> args;
+};
+
+std::vector<Call> pipeline_calls() {
+  return {
+      {"fir4",
+       {Value::make_i32(kOut), Value::make_i32(kIn), Value::make_i32(kElems),
+        Value::make_f32(0.75f), Value::make_f32(0.25f)}},
+      {"gain", {Value::make_i32(kOut), Value::make_i32(kElems),
+                Value::make_f32(0.5f)}},
+      {"energy", {Value::make_i32(kOut), Value::make_i32(kElems)}},
+      {"acc12", {Value::make_i32(kIn), Value::make_i32(kElems - 16)}},
+  };
+}
+
+void setup_samples(Memory& mem) {
+  for (int i = 0; i <= kElems + 16; ++i) {
+    mem.write_f32(kIn + 4 * static_cast<uint32_t>(i),
+                  0.001f * static_cast<float>(i) - 0.1f);
+  }
+}
+
+struct ConfigReport {
+  std::string name;
+  // Per-core steady-state cycles, then the counters that explain them.
+  std::vector<uint64_t> core_cycles;
+  std::vector<size_t> tier2_fns;
+  std::vector<Value> results;  // bit-identity check across configs
+  int64_t hits = 0, misses = 0, compiles = 0, evictions = 0;
+};
+
+ConfigReport run_config(const std::string& name, const Module& module,
+                        uint32_t tier2_threshold) {
+  SocOptions options;
+  options.mode = LoadMode::Tiered;
+  options.promote_threshold = 2;
+  options.profile = true;
+  options.tier2_threshold = tier2_threshold;
+  // No pool: every compile is synchronous, so the run is deterministic
+  // and the smoke target cannot flake on scheduling.
+  options.pool_threads = 0;
+
+  Soc soc(soc_cores(), 1 << 20, options);
+  soc.load(module);
+  setup_samples(soc.memory());
+
+  ConfigReport report;
+  report.name = name;
+  const auto calls = pipeline_calls();
+
+  // Warm-up: drive every core through tier 0 -> tier 1 (-> tier 2).
+  for (int rep = 0; rep < kWarmCalls; ++rep) {
+    for (size_t c = 0; c < soc.num_cores(); ++c) {
+      for (const Call& call : calls) {
+        const SimResult r = soc.run_on(c, call.fn, call.args);
+        if (!r.ok()) {
+          std::fprintf(stderr, "%s trapped during warm-up (%s)\n", call.fn,
+                       name.c_str());
+          std::abort();
+        }
+      }
+    }
+  }
+
+  // Steady state: same sequence, cycles and values recorded.
+  for (size_t c = 0; c < soc.num_cores(); ++c) {
+    uint64_t cycles = 0;
+    for (int rep = 0; rep < kSteadyReps; ++rep) {
+      for (const Call& call : calls) {
+        const SimResult r = soc.run_on(c, call.fn, call.args);
+        if (!r.ok()) {
+          std::fprintf(stderr, "%s trapped in steady state (%s)\n", call.fn,
+                       name.c_str());
+          std::abort();
+        }
+        cycles += r.stats.cycles;
+        report.results.push_back(r.value);
+      }
+    }
+    report.core_cycles.push_back(cycles);
+    report.tier2_fns.push_back(soc.core(c).tier2_functions());
+  }
+
+  const Statistics stats = soc.code_cache().stats();
+  report.hits = stats.get("cache.hits");
+  report.misses = stats.get("cache.misses");
+  report.compiles = stats.get("cache.compiles");
+  report.evictions = stats.get("cache.evictions");
+  return report;
+}
+
+}  // namespace
+
+int main() {
+  const Module module = compile_or_die(workload_source());
+
+  const ConfigReport tier1 = run_config("tier1", module, 0);
+  const ConfigReport tier2 = run_config("tier2", module, 4);
+
+  if (tier1.results != tier2.results) {
+    std::fprintf(stderr,
+                 "BUG: tier-1 and tier-2 steady-state results diverged\n");
+    std::abort();
+  }
+
+  const auto cores = soc_cores();
+  std::printf("profile-guided re-specialization: steady-state cycles per "
+              "core\n(FIR pipeline + acc12, %d reps x %zu kernels, n=%d; "
+              "identical results verified)\n\n",
+              kSteadyReps, pipeline_calls().size(), kElems);
+  std::printf("%-10s %14s %14s %9s %10s\n", "core", "tier1 cyc", "tier2 cyc",
+              "delta", "tier2 fns");
+  print_rule(62);
+  for (size_t c = 0; c < cores.size(); ++c) {
+    const double delta =
+        100.0 *
+        (static_cast<double>(tier1.core_cycles[c]) -
+         static_cast<double>(tier2.core_cycles[c])) /
+        static_cast<double>(tier1.core_cycles[c]);
+    std::printf("%-10s %14llu %14llu %+8.1f%% %10zu\n",
+                target_desc(cores[c].kind).name.c_str(),
+                static_cast<unsigned long long>(tier1.core_cycles[c]),
+                static_cast<unsigned long long>(tier2.core_cycles[c]), delta,
+                tier2.tier2_fns[c]);
+  }
+  print_rule(62);
+  std::printf("shared-cache counters (hits/misses/compiles/evictions): "
+              "tier1 %lld/%lld/%lld/%lld, tier2 %lld/%lld/%lld/%lld\n",
+              static_cast<long long>(tier1.hits),
+              static_cast<long long>(tier1.misses),
+              static_cast<long long>(tier1.compiles),
+              static_cast<long long>(tier1.evictions),
+              static_cast<long long>(tier2.hits),
+              static_cast<long long>(tier2.misses),
+              static_cast<long long>(tier2.compiles),
+              static_cast<long long>(tier2.evictions));
+  std::printf(
+      "tier 2 re-runs the JIT for hot functions with profile-derived "
+      "options;\nwhere the observed register demand overcommits a class "
+      "the Chaitin\nallocator replaces linear scan, cutting spill cycles "
+      "on the small\nregister files. Results are bit-identical across "
+      "tiers by contract.\n");
+  return 0;
+}

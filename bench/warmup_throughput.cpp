@@ -48,6 +48,9 @@ struct ConfigReport {
   double load_ms = 0.0;
   double warm_ms = 0.0;  // background-compile drain after load
   int64_t compiles = 0;
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t evictions = 0;
   uint64_t first_call_cycles = 0;  // sum over kernels, each on its best core
   uint64_t tier0_first_calls = 0;
   uint64_t steady_cycles = 0;  // sum over kernels x reps after warm-up
@@ -105,11 +108,14 @@ ConfigReport run_config(const std::string& name, const Module& suite,
 
   const Statistics stats = soc.code_cache().stats();
   report.compiles = stats.get("cache.compiles");
-  const int64_t lookups = stats.get("cache.hits") + stats.get("cache.misses");
-  report.hit_rate =
-      lookups > 0 ? 100.0 * static_cast<double>(stats.get("cache.hits")) /
-                        static_cast<double>(lookups)
-                  : 0.0;
+  report.hits = stats.get("cache.hits");
+  report.misses = stats.get("cache.misses");
+  report.evictions = stats.get("cache.evictions");
+  const int64_t lookups = report.hits + report.misses;
+  report.hit_rate = lookups > 0
+                        ? 100.0 * static_cast<double>(report.hits) /
+                              static_cast<double>(lookups)
+                        : 0.0;
   return report;
 }
 
@@ -151,6 +157,15 @@ int main() {
                 r.hit_rate);
   }
   print_rule(94);
+  std::printf("shared-cache counters per config "
+              "(hits / misses / compiles / evictions):\n");
+  for (const ConfigReport& r : reports) {
+    std::printf("  %-16s %lld / %lld / %lld / %lld\n", r.name.c_str(),
+                static_cast<long long>(r.hits),
+                static_cast<long long>(r.misses),
+                static_cast<long long>(r.compiles),
+                static_cast<long long>(r.evictions));
+  }
   std::printf(
       "eager compiles every function per kind before anything runs;\n"
       "tiered answers first calls from the interpreter (%llux cycle cost "

@@ -1,5 +1,6 @@
 #include "bytecode/annotations.h"
 
+#include "support/crc32.h"
 #include "support/varint.h"
 
 namespace svc {
@@ -97,6 +98,138 @@ std::optional<LoopTripInfo> LoopTripInfo::decode(
   info.header_block = static_cast<uint32_t>(*header);
   info.trip_multiple = static_cast<uint32_t>(*mult);
   info.trip_min = static_cast<uint32_t>(*min);
+  return info;
+}
+
+size_t trip_bucket(uint64_t trips) {
+  size_t bucket = 0;
+  while (trips > 1 && bucket + 1 < kProfileTripBuckets) {
+    trips >>= 1;
+    ++bucket;
+  }
+  return bucket;
+}
+
+uint64_t trip_bucket_floor(size_t i) { return uint64_t{1} << i; }
+
+uint32_t ProfileInfo::widest_lanes() const {
+  if (lane16_ops > 0) return 16;
+  if (lane8_ops > 0) return 8;
+  if (lane4_ops > 0) return 4;
+  return 0;
+}
+
+bool ProfileInfo::empty() const {
+  return calls == 0 && scalar_ops == 0 && vector_ops() == 0 &&
+         branches.empty() && loops.empty();
+}
+
+void ProfileInfo::merge(const ProfileInfo& other) {
+  calls += other.calls;
+  scalar_ops += other.scalar_ops;
+  lane16_ops += other.lane16_ops;
+  lane8_ops += other.lane8_ops;
+  lane4_ops += other.lane4_ops;
+  for (const auto& [block, counts] : other.branches) {
+    BranchProfile& mine = branches[block];
+    mine.taken += counts.taken;
+    mine.not_taken += counts.not_taken;
+  }
+  for (const auto& [header, histogram] : other.loops) {
+    TripHistogram& mine = loops[header];
+    for (size_t i = 0; i < kProfileTripBuckets; ++i) {
+      mine[i] += histogram[i];
+    }
+  }
+}
+
+uint64_t ProfileInfo::hash() const {
+  // FNV-1a over the canonical encoding (maps iterate sorted, so the byte
+  // stream is deterministic for equal profiles).
+  const Annotation encoded = encode();
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (const uint8_t byte : encoded.payload) {
+    h ^= byte;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+Annotation ProfileInfo::encode() const {
+  Annotation a{AnnotationKind::Profile, {}};
+  write_uleb(a.payload, kProfileVersion);
+  write_uleb(a.payload, calls);
+  write_uleb(a.payload, scalar_ops);
+  write_uleb(a.payload, lane16_ops);
+  write_uleb(a.payload, lane8_ops);
+  write_uleb(a.payload, lane4_ops);
+  write_uleb(a.payload, branches.size());
+  for (const auto& [block, counts] : branches) {
+    write_uleb(a.payload, block);
+    write_uleb(a.payload, counts.taken);
+    write_uleb(a.payload, counts.not_taken);
+  }
+  write_uleb(a.payload, loops.size());
+  for (const auto& [header, histogram] : loops) {
+    write_uleb(a.payload, header);
+    for (const uint64_t bucket : histogram) write_uleb(a.payload, bucket);
+  }
+  const uint32_t crc = crc32(a.payload);
+  for (int i = 0; i < 4; ++i) {
+    a.payload.push_back(static_cast<uint8_t>((crc >> (8 * i)) & 0xff));
+  }
+  return a;
+}
+
+std::optional<ProfileInfo> ProfileInfo::decode(
+    std::span<const uint8_t> payload) {
+  if (payload.size() < 4) return std::nullopt;
+  const auto body = payload.first(payload.size() - 4);
+  uint32_t stored = 0;
+  for (int i = 0; i < 4; ++i) {
+    stored |= static_cast<uint32_t>(payload[body.size() + i]) << (8 * i);
+  }
+  if (crc32(body) != stored) return std::nullopt;
+
+  ByteReader r(body);
+  const auto version = r.read_uleb();
+  if (!version || *version != kProfileVersion) return std::nullopt;
+  ProfileInfo info;
+  const auto calls = r.read_uleb();
+  const auto scalar = r.read_uleb();
+  const auto lane16 = r.read_uleb();
+  const auto lane8 = r.read_uleb();
+  const auto lane4 = r.read_uleb();
+  if (!calls || !scalar || !lane16 || !lane8 || !lane4) return std::nullopt;
+  info.calls = *calls;
+  info.scalar_ops = *scalar;
+  info.lane16_ops = *lane16;
+  info.lane8_ops = *lane8;
+  info.lane4_ops = *lane4;
+
+  const auto nbranches = r.read_uleb();
+  if (!nbranches || *nbranches > 1u << 20) return std::nullopt;
+  for (uint64_t i = 0; i < *nbranches; ++i) {
+    const auto block = r.read_uleb();
+    const auto taken = r.read_uleb();
+    const auto not_taken = r.read_uleb();
+    if (!block || !taken || !not_taken) return std::nullopt;
+    info.branches[static_cast<uint32_t>(*block)] = {*taken, *not_taken};
+  }
+  const auto nloops = r.read_uleb();
+  if (!nloops || *nloops > 1u << 20) return std::nullopt;
+  for (uint64_t i = 0; i < *nloops; ++i) {
+    const auto header = r.read_uleb();
+    if (!header) return std::nullopt;
+    TripHistogram histogram{};
+    for (size_t b = 0; b < kProfileTripBuckets; ++b) {
+      const auto bucket = r.read_uleb();
+      if (!bucket) return std::nullopt;
+      histogram[b] = *bucket;
+    }
+    info.loops[static_cast<uint32_t>(*header)] = histogram;
+  }
+  if (!r.at_end()) return std::nullopt;
   return info;
 }
 

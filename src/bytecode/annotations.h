@@ -8,7 +8,10 @@
 // overhead stays in the low percent range (measured by bench/bytecode_size).
 #pragma once
 
+#include <algorithm>
+#include <array>
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <span>
 #include <vector>
@@ -30,6 +33,12 @@ enum class AnnotationKind : uint16_t {
   // Trip-count facts for a loop header: guaranteed multiple and minimum,
   // letting the JIT drop epilogues or prologue guards.
   LoopTripInfo = 4,
+  // Runtime profile of the function, collected by the deployed tier-0
+  // interpreter and fed back both online (tier-2 re-specialization) and
+  // offline (seeding the iterative tuner). Unlike the kinds above, the
+  // payload is *versioned and CRC-checked*: it travels back from devices,
+  // so a reader must reject skewed or corrupted records cleanly.
+  Profile = 5,
 };
 
 struct Annotation {
@@ -91,6 +100,79 @@ struct LoopTripInfo {
   [[nodiscard]] Annotation encode() const;
   static std::optional<LoopTripInfo> decode(std::span<const uint8_t> payload);
 };
+
+// --- Runtime profile (the feedback channel) ------------------------------
+
+/// Version of the Profile payload format. decode() rejects any other
+/// version (old readers on newer modules fail cleanly; the module itself
+/// still loads because annotations are advisory).
+inline constexpr uint32_t kProfileVersion = 1;
+
+/// Loop trip counts land in power-of-two buckets: bucket i counts
+/// completed loop executions with trip count in [2^i, 2^(i+1)), the last
+/// bucket is open-ended.
+inline constexpr size_t kProfileTripBuckets = 8;
+
+struct BranchProfile {
+  uint64_t taken = 0;
+  uint64_t not_taken = 0;
+
+  [[nodiscard]] uint64_t total() const { return taken + not_taken; }
+  /// True when the minority outcome is at least a quarter of executions:
+  /// the branch is data-dependent enough that if-conversion may pay.
+  [[nodiscard]] bool is_mixed() const {
+    return 4 * std::min(taken, not_taken) >= total() && total() > 0;
+  }
+  friend bool operator==(const BranchProfile&, const BranchProfile&) = default;
+};
+
+using TripHistogram = std::array<uint64_t, kProfileTripBuckets>;
+
+/// Per-function runtime profile: what the tier-0 interpreter observed.
+/// Doubles as the typed view of the Profile annotation payload.
+struct ProfileInfo {
+  uint64_t calls = 0;
+  uint64_t scalar_ops = 0;
+  // Observed vector widths: executed vector ops by lane interpretation
+  // (16 x u8, 8 x u16, 4 x i32/f32). These drive the tier-2 scalarization
+  // and register-pressure estimates.
+  uint64_t lane16_ops = 0;
+  uint64_t lane8_ops = 0;
+  uint64_t lane4_ops = 0;
+  // Taken / not-taken counts per BranchIf site (keyed by block index: the
+  // stack discipline makes every branch a block terminator).
+  std::map<uint32_t, BranchProfile> branches;
+  // Trip-count histogram per observed loop header block.
+  std::map<uint32_t, TripHistogram> loops;
+
+  [[nodiscard]] uint64_t vector_ops() const {
+    return lane16_ops + lane8_ops + lane4_ops;
+  }
+  /// Widest observed lane count (16/8/4), or 0 when no vector op ran.
+  [[nodiscard]] uint32_t widest_lanes() const;
+  [[nodiscard]] bool empty() const;
+
+  void merge(const ProfileInfo& other);
+
+  /// Stable content hash over the canonical encoding; part of the tier-2
+  /// CodeCacheKey so artifacts specialized against different profiles
+  /// coexist and evict independently.
+  [[nodiscard]] uint64_t hash() const;
+
+  /// Payload layout: version, counters, branch sites, loop histograms
+  /// (all varint), then a little-endian CRC-32 over the preceding payload
+  /// bytes.
+  [[nodiscard]] Annotation encode() const;
+  /// Rejects (nullopt) on version skew, CRC mismatch, or truncation.
+  static std::optional<ProfileInfo> decode(std::span<const uint8_t> payload);
+
+  friend bool operator==(const ProfileInfo&, const ProfileInfo&) = default;
+};
+
+/// Bucket index of `trips` in a TripHistogram (floor(log2), clamped).
+[[nodiscard]] size_t trip_bucket(uint64_t trips);
+/// Lower bound of histogram bucket `i` (inverse of trip_bucket).
+[[nodiscard]] uint64_t trip_bucket_floor(size_t i);
 
 /// Finds the first annotation of `kind` in `annotations`, or nullptr.
 /// Accepts any contiguous range of annotations (vector, array, subspan).

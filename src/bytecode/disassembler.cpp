@@ -42,6 +42,98 @@ std::string disassemble(const Instruction& inst) {
   return os.str();
 }
 
+namespace {
+
+void append_hw_features(std::ostringstream& os, uint32_t features) {
+  if (features == 0) {
+    os << "none";
+    return;
+  }
+  const char* sep = "";
+  const auto flag = [&](uint32_t bit, const char* name) {
+    if (features & bit) {
+      os << sep << name;
+      sep = "|";
+    }
+  };
+  flag(kFeatureSimd, "simd");
+  flag(kFeatureFloat, "float");
+  flag(kFeatureDouble, "double");
+  flag(kFeatureControlHeavy, "control");
+  flag(kFeatureMemoryHeavy, "memory");
+}
+
+}  // namespace
+
+std::string disassemble(const Annotation& ann) {
+  std::ostringstream os;
+  switch (ann.kind) {
+    case AnnotationKind::VectorizedLoop:
+      if (const auto info = VectorizedLoopInfo::decode(ann.payload)) {
+        os << "vectorized_loop header=bb" << info->header_block
+           << " vf=" << info->vector_factor
+           << " epilogue=" << (info->has_epilogue ? "yes" : "no");
+        return os.str();
+      }
+      break;
+    case AnnotationKind::SpillPriority:
+      if (const auto info = SpillPriorityInfo::decode(ann.payload)) {
+        os << "spill_priority order=[";
+        for (size_t i = 0; i < info->eviction_order.size(); ++i) {
+          os << (i ? " " : "") << '$' << info->eviction_order[i];
+        }
+        os << "] weights=[";
+        for (size_t i = 0; i < info->weights.size(); ++i) {
+          os << (i ? " " : "") << info->weights[i];
+        }
+        os << ']';
+        return os.str();
+      }
+      break;
+    case AnnotationKind::HardwareHints:
+      if (const auto info = HardwareHintsInfo::decode(ann.payload)) {
+        os << "hw_hints features=";
+        append_hw_features(os, info->features);
+        os << " vector_intensity=" << info->vector_intensity << '%';
+        return os.str();
+      }
+      break;
+    case AnnotationKind::LoopTripInfo:
+      if (const auto info = LoopTripInfo::decode(ann.payload)) {
+        os << "loop_trip header=bb" << info->header_block
+           << " multiple=" << info->trip_multiple
+           << " min=" << info->trip_min;
+        return os.str();
+      }
+      break;
+    case AnnotationKind::Profile:
+      if (const auto info = ProfileInfo::decode(ann.payload)) {
+        os << "profile v" << kProfileVersion << " calls=" << info->calls
+           << " scalar_ops=" << info->scalar_ops << " vec_ops[x16="
+           << info->lane16_ops << " x8=" << info->lane8_ops
+           << " x4=" << info->lane4_ops << ']';
+        for (const auto& [block, counts] : info->branches) {
+          os << " branch bb" << block << ": " << counts.taken << '/'
+             << counts.not_taken;
+        }
+        for (const auto& [header, histogram] : info->loops) {
+          os << " loop bb" << header << ":";
+          for (size_t b = 0; b < histogram.size(); ++b) {
+            if (histogram[b] == 0) continue;
+            os << " trips>=" << trip_bucket_floor(b) << " x" << histogram[b];
+          }
+        }
+        return os.str();
+      }
+      break;
+  }
+  // Unknown kind or undecodable payload: report and move on, exactly the
+  // advisory-annotations contract loaders follow.
+  os << "annotation kind=" << static_cast<uint32_t>(ann.kind)
+     << " bytes=" << ann.payload.size() << " (unknown or skewed, skipped)";
+  return os.str();
+}
+
 std::string disassemble(const Function& fn) {
   std::ostringstream os;
   os << "fn " << fn.name() << '(';
@@ -57,8 +149,7 @@ std::string disassemble(const Function& fn) {
        << type_name(fn.local_type(static_cast<uint32_t>(i))) << '\n';
   }
   for (const auto& ann : fn.annotations()) {
-    os << "  ;; annotation kind=" << static_cast<uint32_t>(ann.kind)
-       << " bytes=" << ann.payload.size() << '\n';
+    os << "  ;; " << disassemble(ann) << '\n';
   }
   for (uint32_t b = 0; b < fn.num_blocks(); ++b) {
     os << "bb" << b << ":\n";

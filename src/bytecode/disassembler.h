@@ -9,6 +9,11 @@
 namespace svc {
 
 [[nodiscard]] std::string disassemble(const Instruction& inst);
+/// Decoded, human-readable form of one annotation record: the payload is
+/// parsed per kind (vectorized_loop, spill_priority, hw_hints, loop_trip,
+/// profile); unknown kinds and undecodable payloads print as raw byte
+/// counts, mirroring how loaders skip them.
+[[nodiscard]] std::string disassemble(const Annotation& ann);
 [[nodiscard]] std::string disassemble(const Function& fn);
 [[nodiscard]] std::string disassemble(const Module& module);
 

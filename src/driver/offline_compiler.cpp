@@ -10,6 +10,7 @@
 #include "ir/lower_bytecode.h"
 #include "ir/vectorizer.h"
 #include "regalloc/split_alloc.h"
+#include "runtime/profile_guided.h"
 #include "support/diagnostics.h"
 
 namespace svc {
@@ -73,10 +74,22 @@ std::optional<Module> compile_source(std::string_view source,
   auto ir_fns = generate_ir(*program, diags);
   if (!ir_fns) return std::nullopt;
 
-  const PipelineSpec spec =
-      options.pipeline
-          ? *options.pipeline
-          : default_ir_pipeline(options.passes, options.vectorize);
+  // Schedule precedence: an explicit pipeline wins; otherwise an imported
+  // profile seeds the vectorize / if-convert decisions with observed
+  // behavior; otherwise the blind knob-derived default runs.
+  const ProfileSeedDecision seed =
+      options.profile ? profile_seed_decision(*options.profile)
+                      : ProfileSeedDecision{};
+  PipelineSpec spec;
+  if (options.pipeline) {
+    spec = *options.pipeline;
+  } else if (seed.observed) {
+    PassOptions seeded = options.passes;
+    seeded.if_convert = seed.if_convert;
+    spec = default_ir_pipeline(seeded, seed.vectorize);
+  } else {
+    spec = default_ir_pipeline(options.passes, options.vectorize);
+  }
   if (const auto unknown = ir_pass_manager().first_unknown(spec)) {
     diags.error({}, "unknown IR pass '" + *unknown + "' in pipeline '" +
                         spec.str() + "'");
@@ -96,6 +109,19 @@ std::optional<Module> compile_source(std::string_view source,
     if (options.annotate_spill_priorities) annotate_spill_priorities(fn);
     if (options.annotate_hardware_hints) {
       fn.annotations().push_back(compute_hw_hints(fn).encode());
+    }
+    // Re-ingest the imported profile: the observed record rides along on
+    // the recompiled function (matched by name -- indices shift across
+    // compiles, names persist). Copied verbatim: block references inside
+    // are advisory and may be stale for the new block layout, but the
+    // aggregate counters the consumers read stay meaningful.
+    if (options.profile) {
+      if (const auto prev = options.profile->find_function(fn.name())) {
+        const Annotation* ann = find_annotation(
+            options.profile->function(*prev).annotations(),
+            AnnotationKind::Profile);
+        if (ann) fn.annotations().push_back(*ann);
+      }
     }
     module.add_function(std::move(fn));
   }

@@ -27,6 +27,15 @@ struct OfflineOptions {
   // replaces the schedule derived from `passes` + `vectorize`; unknown
   // pass names are reported through the DiagnosticEngine.
   std::optional<PipelineSpec> pipeline;
+  // Runtime profile imported from a previous deployment cycle: a module
+  // whose functions carry Profile annotations (Soc::export_profiled_module
+  // round-tripped through the serializer). Two effects: when no explicit
+  // `pipeline` is given the offline schedule is seeded from the observed
+  // behavior instead of the blind defaults, and the profile annotations
+  // are carried over to the recompiled functions (matched by name) so the
+  // next cycle's consumers -- tuner, mapper, tier-2 -- still see them.
+  // Not owned; must outlive the compile_source call.
+  const Module* profile = nullptr;
 };
 
 /// Compiles MiniC `source` into a deployable module. Returns nullopt with

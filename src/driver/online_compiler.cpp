@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "bytecode/verifier.h"
+#include "runtime/profile_guided.h"
 #include "support/diagnostics.h"
 #include "vm/interpreter.h"
 
@@ -62,6 +63,7 @@ void OnlineTarget::drain_pending() {
     std::lock_guard<std::mutex> lock(mutex_);
     for (FuncState& st : states_) {
       if (st.pending.valid()) pending.push_back(st.pending);
+      if (st.tier2_pending.valid()) pending.push_back(st.tier2_pending);
     }
   }
   for (const auto& future : pending) future.wait();
@@ -84,14 +86,18 @@ void OnlineTarget::load(const Module& module) {
   jit_seconds_ = 0.0;
   interpreted_calls_ = 0;
   jitted_calls_ = 0;
+  tier2_calls_ = 0;
   code_.clear();
   states_.clear();
+  image_.reset();
+  profile_.reset(config_.profile ? module.num_functions() : 0);
 
   const uint32_t n = static_cast<uint32_t>(module.num_functions());
   if (config_.mode == LoadMode::Tiered) {
     // No compilation now: empty slots are filled as artifacts install.
     code_.resize(n);
     states_.resize(n);
+    image_ = std::make_shared<std::vector<MFunction>>(code_);
     const auto callees = callee_graph(module);
     for (uint32_t i = 0; i < n; ++i) {
       states_[i].reachable = reachable_functions(callees, i);
@@ -119,6 +125,8 @@ SimResult OnlineTarget::run(std::string_view name,
 
   if (config_.mode == LoadMode::Tiered) {
     bool use_jit = true;
+    uint8_t tier = 1;
+    std::shared_ptr<const std::vector<MFunction>> image;
     {
       std::lock_guard<std::mutex> lock(mutex_);
       FuncState& st = states_[*idx];
@@ -132,14 +140,30 @@ SimResult OnlineTarget::run(std::string_view name,
       }
       if (use_jit) {
         ++jitted_calls_;
+        ++st.jit_calls;
+        if (config_.tier2_threshold > 0 && !st.tier2_requested &&
+            st.jit_calls >= config_.tier2_threshold) {
+          request_tier2_locked(*idx);
+        }
+        poll_tier2_locked(*idx);
+        if (st.tier2_installed) {
+          tier = 2;
+          ++tier2_calls_;
+        }
+        image = image_;
       } else {
         ++interpreted_calls_;
       }
     }
-    // Execution happens outside the lock: installed code_ entries are
-    // immutable once their installed flag has been observed, and
-    // concurrent installs only touch *other* (pre-sized) vector slots.
+    // Execution happens outside the lock on the snapshot taken inside it:
+    // tier-1 installs only fill slots this run cannot reach yet, and a
+    // tier-2 install swaps in a *new* image rather than mutating ours.
     if (!use_jit) return interpret(*idx, args, memory, step_budget);
+    Simulator sim(desc_, *image, memory);
+    sim.set_step_budget(step_budget);
+    SimResult result = sim.run(*idx, args);
+    result.tier = tier;
+    return result;
   }
 
   Simulator sim(desc_, code_, memory);
@@ -176,6 +200,29 @@ uint64_t OnlineTarget::jitted_calls() const {
   return jitted_calls_;
 }
 
+uint64_t OnlineTarget::tier2_calls() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tier2_calls_;
+}
+
+size_t OnlineTarget::tier2_functions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t n = 0;
+  for (const FuncState& st : states_) n += st.tier2_installed ? 1 : 0;
+  return n;
+}
+
+ProfileData OnlineTarget::profile() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return profile_;
+}
+
+Module OnlineTarget::export_profiled_module() const {
+  if (!module_) fatal("OnlineTarget::export_profiled_module before load");
+  std::lock_guard<std::mutex> lock(mutex_);
+  return attach_profile(*module_, profile_);
+}
+
 size_t OnlineTarget::code_bytes() const {
   std::lock_guard<std::mutex> lock(mutex_);
   size_t total = 0;
@@ -210,6 +257,38 @@ void OnlineTarget::request_compile_locked(uint32_t func_idx) {
   }
 }
 
+void OnlineTarget::request_tier2_locked(uint32_t func_idx) {
+  FuncState& st = states_[func_idx];
+  st.tier2_requested = true;
+  // Freeze the profile the re-specialization is derived from: the hash
+  // keys the cache entry, so later observations produce a *different*
+  // tier-2 artifact instead of silently aliasing this one.
+  const ProfileInfo profile = func_idx < profile_.num_functions()
+                                  ? profile_.function(func_idx)
+                                  : ProfileInfo{};
+  const JitOptions tier2 = derive_tier2_options(
+      jit_.options(), desc_, module_->function(func_idx), profile);
+  const uint64_t profile_hash = profile.hash();
+  const auto compile_job = [this, func_idx, tier2,
+                            profile_hash]() -> CodeCache::Artifact {
+    const JitCompiler tier2_jit(desc_, tier2);
+    if (config_.cache) {
+      const CodeCacheKey key{module_,           func_idx, desc_.kind,
+                             tier2.cache_key(), 2,        profile_hash};
+      return config_.cache->get_or_compile(key, [&] {
+        return tier2_jit.compile(*module_, func_idx);
+      });
+    }
+    return std::make_shared<const JitArtifact>(
+        tier2_jit.compile(*module_, func_idx));
+  };
+  if (config_.pool) {
+    st.tier2_pending = config_.pool->submit(compile_job).share();
+  } else {
+    install_tier2_locked(func_idx, *compile_job());
+  }
+}
+
 void OnlineTarget::poll_install_locked(uint32_t func_idx) {
   FuncState& st = states_[func_idx];
   if (st.installed || !st.requested || !st.pending.valid()) return;
@@ -221,12 +300,43 @@ void OnlineTarget::poll_install_locked(uint32_t func_idx) {
   st.pending = {};
 }
 
+void OnlineTarget::poll_tier2_locked(uint32_t func_idx) {
+  FuncState& st = states_[func_idx];
+  if (st.tier2_installed || !st.tier2_requested || !st.tier2_pending.valid()) {
+    return;
+  }
+  if (st.tier2_pending.wait_for(std::chrono::seconds(0)) !=
+      std::future_status::ready) {
+    return;
+  }
+  install_tier2_locked(func_idx, *st.tier2_pending.get());
+  st.tier2_pending = {};
+}
+
 void OnlineTarget::install_locked(uint32_t func_idx,
                                   const JitArtifact& artifact) {
   code_[func_idx] = artifact.code;
+  // In-place image write: this slot is empty and unreachable by any run
+  // in flight (tier-up requires the whole reachable set installed), so no
+  // snapshot holder can be reading it.
+  (*image_)[func_idx] = artifact.code;
   jit_stats_.merge(artifact.stats);
   jit_seconds_ += artifact.compile_seconds;
   states_[func_idx].installed = true;
+}
+
+void OnlineTarget::install_tier2_locked(uint32_t func_idx,
+                                        const JitArtifact& artifact) {
+  code_[func_idx] = artifact.code;
+  // Copy-on-write: the replaced slot may be executing right now in a run
+  // that snapshotted the current image, so swap in a fresh vector instead
+  // of mutating the shared one. Tier-2 installs are rare (once per hot
+  // function), so the full copy amortizes to nothing.
+  image_ = std::make_shared<std::vector<MFunction>>(code_);
+  jit_stats_.merge(artifact.stats);
+  jit_stats_.add("jit.tier2_installs", 1);
+  jit_seconds_ += artifact.compile_seconds;
+  states_[func_idx].tier2_installed = true;
 }
 
 SimResult OnlineTarget::interpret(uint32_t func_idx,
@@ -234,9 +344,21 @@ SimResult OnlineTarget::interpret(uint32_t func_idx,
                                   Memory& memory, uint64_t step_budget) {
   Interpreter interp(*module_, memory);
   interp.set_step_budget(step_budget);
+  // Concurrent tier-0 calls collect into a per-call local and merge under
+  // the lock afterwards; the collector itself is not thread-safe.
+  ProfileData local;
+  if (config_.profile) {
+    local.reset(module_->num_functions());
+    interp.set_profile(&local);
+  }
   const ExecResult r = interp.run(func_idx, args);
+  if (config_.profile) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    profile_.merge(local);
+  }
   SimResult out;
   out.interpreted = true;
+  out.tier = 0;
   out.trap = r.trap;
   if (r.value) out.value = *r.value;
   out.stats.instructions = r.steps;

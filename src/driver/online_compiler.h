@@ -7,6 +7,15 @@
 // optional CodeCache and ThreadPool -- has finished. This is what
 // "shipping the same bytecode to three machines" looks like when the
 // machines also have to start up fast.
+//
+// The runtime also observes itself: with config.profile the tier-0
+// interpreter collects ProfileData (calls, branch bias, trip counts,
+// vector widths), and with config.tier2_threshold > 0 functions hot at
+// tier 1 are *re*-specialized -- the JIT re-runs with profile-derived
+// options (runtime/profile_guided.h) and the tier-2 artifact replaces the
+// tier-1 code under a copy-on-write code image, so in-flight executions
+// keep their snapshot. export_profiled_module() hands the observations
+// back to the offline side. Results are bit-identical across all tiers.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +31,7 @@
 #include "support/thread_pool.h"
 #include "targets/simulator.h"
 #include "targets/target_registry.h"
+#include "vm/profile.h"
 
 namespace svc {
 
@@ -44,6 +54,13 @@ struct OnlineTargetConfig {
   LoadMode mode = LoadMode::Eager;
   // Calls of a function before its JIT compile is requested.
   uint32_t promote_threshold = 1;
+  // Tier-0 runtime profiling (tiered mode only): the interpreter records
+  // per-function ProfileData, merged under the target's lock. Feeds
+  // tier-2 re-specialization and export_profiled_module().
+  bool profile = false;
+  // Calls served by JITed code before the profile-guided optimizing
+  // recompile (tier 2) of that function is requested; 0 disables tier 2.
+  uint32_t tier2_threshold = 0;
   CodeCache* cache = nullptr;
   ThreadPool* pool = nullptr;
 };
@@ -98,9 +115,25 @@ class OnlineTarget {
   [[nodiscard]] bool jit_ready(uint32_t func_idx);
 
   /// Calls served per tier since load. Tiered mode only: eager mode does
-  /// no tier bookkeeping and reports zero for both.
+  /// no tier bookkeeping and reports zero for both. jitted_calls() counts
+  /// every call answered by JITed code; tier2_calls() is the subset
+  /// served after the function's tier-2 artifact installed.
   [[nodiscard]] uint64_t interpreted_calls() const;
   [[nodiscard]] uint64_t jitted_calls() const;
+  [[nodiscard]] uint64_t tier2_calls() const;
+
+  /// Functions whose tier-2 (re-specialized) artifact is installed.
+  [[nodiscard]] size_t tier2_functions() const;
+
+  /// Snapshot of the runtime profile collected so far (empty unless the
+  /// target runs tiered with config.profile).
+  [[nodiscard]] ProfileData profile() const;
+
+  /// Copy of the loaded module with the collected profile attached as
+  /// Profile annotations -- the export half of the feedback loop; feed it
+  /// to serialize_module() and, offline, to tune_with_profile() or
+  /// OfflineOptions::profile.
+  [[nodiscard]] Module export_profiled_module() const;
 
   /// Total emitted code size (deployment footprint per target). In tiered
   /// mode: installed artifacts only.
@@ -112,6 +145,11 @@ class OnlineTarget {
     bool requested = false;
     bool installed = false;
     std::shared_future<CodeCache::Artifact> pending;
+    // Calls answered by JITed code; drives the tier-2 promotion.
+    uint32_t jit_calls = 0;
+    bool tier2_requested = false;
+    bool tier2_installed = false;
+    std::shared_future<CodeCache::Artifact> tier2_pending;
     // This function plus its transitive callees: everything the simulator
     // may execute when the function runs, so everything that must be
     // installed before tier-up.
@@ -121,8 +159,11 @@ class OnlineTarget {
   [[nodiscard]] CodeCache::Artifact compile_artifact(uint32_t func_idx) const;
   void drain_pending();
   void request_compile_locked(uint32_t func_idx);
+  void request_tier2_locked(uint32_t func_idx);
   void poll_install_locked(uint32_t func_idx);
+  void poll_tier2_locked(uint32_t func_idx);
   void install_locked(uint32_t func_idx, const JitArtifact& artifact);
+  void install_tier2_locked(uint32_t func_idx, const JitArtifact& artifact);
   [[nodiscard]] SimResult interpret(uint32_t func_idx,
                                     const std::vector<Value>& args,
                                     Memory& memory, uint64_t step_budget);
@@ -138,8 +179,18 @@ class OnlineTarget {
   // load and needs no locking on the run path).
   mutable std::mutex mutex_;
   std::vector<FuncState> states_;
+  // The code image handed to the simulator in tiered mode; run() grabs
+  // the shared_ptr under the lock and executes outside it. Tier-1
+  // installs write its slots in place -- safe, because they only fill
+  // entries no in-flight run can reach yet (promotion requires the whole
+  // reachable set installed). Tier-2 installs *replace* already-observed
+  // entries, so they copy-on-write: a fresh vector is swapped in and runs
+  // in flight keep executing the image they started with.
+  std::shared_ptr<std::vector<MFunction>> image_;
+  ProfileData profile_;
   uint64_t interpreted_calls_ = 0;
   uint64_t jitted_calls_ = 0;
+  uint64_t tier2_calls_ = 0;
 };
 
 }  // namespace svc

@@ -32,11 +32,18 @@ namespace svc {
 /// deployed Module: modules are loaded once and must outlive every cache
 /// and target that references them (see OnlineTarget::load), so the
 /// address is a sound identity for the cache's lifetime.
+///
+/// `tier` and `profile_hash` separate the fast first JIT (tier 1) from
+/// profile-guided re-specializations (tier 2): artifacts of different
+/// tiers -- or of the same tier shaped by different observed profiles --
+/// coexist as independent entries and evict independently.
 struct CodeCacheKey {
   const void* module = nullptr;
   uint32_t func_idx = 0;
   TargetKind kind = TargetKind::X86Sim;
   std::string options_key;  // JitOptions::cache_key()
+  uint32_t tier = 1;        // 1 = first JIT, 2 = optimizing recompile
+  uint64_t profile_hash = 0;  // ProfileInfo::hash() behind a tier-2 compile
 
   friend bool operator==(const CodeCacheKey&, const CodeCacheKey&) = default;
 };
@@ -50,6 +57,8 @@ struct CodeCacheKeyHash {
     mix(key.func_idx);
     mix(static_cast<size_t>(key.kind));
     mix(std::hash<std::string>{}(key.options_key));
+    mix(key.tier);
+    mix(static_cast<size_t>(key.profile_hash));
     return h;
   }
 };

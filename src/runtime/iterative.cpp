@@ -1,6 +1,7 @@
 #include "runtime/iterative.h"
 
 #include "ir/ir_pipeline.h"
+#include "runtime/profile_guided.h"
 
 namespace svc {
 
@@ -75,6 +76,42 @@ TuneResult tune(std::string_view source, TargetKind kind,
 TuneResult tune(std::string_view source, TargetKind kind,
                 const WorkloadFn& workload) {
   return tune(source, kind, workload, classic8_preset());
+}
+
+TuneConfig profile_seed_config(const Module& profiled) {
+  const ProfileSeedDecision decision = profile_seed_decision(profiled);
+  TuneConfig seed = decision.observed
+                        ? TuneConfig::classic(decision.vectorize,
+                                              decision.if_convert, true)
+                        : TuneConfig::classic(true, true, true);
+  seed.name = "pgo:" + seed.name;
+  return seed;
+}
+
+std::vector<TuneConfig> profile_guided_space(
+    const Module& profiled, const std::vector<TuneConfig>& space) {
+  const ProfileSeedDecision decision = profile_seed_decision(profiled);
+  if (!decision.observed) return space;
+
+  const TuneConfig seed = profile_seed_config(profiled);
+  std::vector<TuneConfig> out{seed};
+  for (const TuneConfig& config : space) {
+    if (config.pipeline == seed.pipeline) continue;
+    // The profile rules an arm out only when the behavior it exploits was
+    // never observed -- pruning is a search-cost heuristic, and the seed
+    // always stays in.
+    if (!decision.vectorize && config.uses("vectorize")) continue;
+    if (!decision.if_convert && config.uses("if_convert")) continue;
+    out.push_back(config);
+  }
+  return out;
+}
+
+TuneResult tune_with_profile(std::string_view source, TargetKind kind,
+                             const WorkloadFn& workload,
+                             const Module& profiled,
+                             const std::vector<TuneConfig>& space) {
+  return tune(source, kind, workload, profile_guided_space(profiled, space));
 }
 
 }  // namespace svc

@@ -10,6 +10,12 @@
 // space (vectorize x if-convert x simplify) survives as the "classic8"
 // preset, in the old evaluation order, so per-target winners stay
 // comparable across the refactor.
+//
+// With the profile feedback loop closed, the tuner no longer has to
+// search blind: tune_with_profile() accepts a profile-annotated module
+// exported by a deployed SoC (Soc::export_profiled_module), evaluates the
+// profile-derived seed configuration *first*, and prunes arms the
+// observed behavior rules out.
 #pragma once
 
 #include <functional>
@@ -75,5 +81,31 @@ struct TuneResult {
 /// Classic8 convenience overload (the pre-refactor search space).
 [[nodiscard]] TuneResult tune(std::string_view source, TargetKind kind,
                               const WorkloadFn& workload);
+
+// --- Profile-guided tuning ------------------------------------------------
+
+/// Distills the Profile annotations of `profiled` (an exported deployment
+/// module) into the configuration the search should evaluate first. With
+/// no decodable profile this degrades to the full classic default
+/// (vec+ifcvt+simp); the name is prefixed "pgo:" either way.
+[[nodiscard]] TuneConfig profile_seed_config(const Module& profiled);
+
+/// Seeds `space` with the profile-derived config (first, deduplicated)
+/// and prunes arms the profile rules out: vectorize candidates when no
+/// vector work or hot loop was observed, if-convert candidates when every
+/// observed branch was heavily biased. An unprofiled module leaves
+/// `space` untouched.
+[[nodiscard]] std::vector<TuneConfig> profile_guided_space(
+    const Module& profiled, const std::vector<TuneConfig>& space);
+
+/// tune() seeded and pruned by an imported profile: the first evaluated
+/// candidate is profile_seed_config(profiled) whenever the module carries
+/// a profile. `space` defaults to classic8.
+[[nodiscard]] TuneResult tune_with_profile(std::string_view source,
+                                           TargetKind kind,
+                                           const WorkloadFn& workload,
+                                           const Module& profiled,
+                                           const std::vector<TuneConfig>&
+                                               space = classic8_preset());
 
 }  // namespace svc

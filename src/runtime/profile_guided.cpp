@@ -1,0 +1,110 @@
+#include "runtime/profile_guided.h"
+
+namespace svc {
+namespace {
+
+struct StaticFacts {
+  bool has_float = false;
+  bool has_vector = false;
+};
+
+StaticFacts scan_function(const Function& fn) {
+  StaticFacts facts;
+  for (const BasicBlock& block : fn.blocks()) {
+    for (const Instruction& inst : block.insts) {
+      if (is_vector_op(inst.op)) facts.has_vector = true;
+      const OpCategory cat = op_info(inst.op).category;
+      if (cat == OpCategory::FloatArith) facts.has_float = true;
+    }
+  }
+  return facts;
+}
+
+}  // namespace
+
+std::array<size_t, kNumRegClasses> estimate_register_demand(
+    const Function& fn, const MachineDesc& desc, const ProfileInfo& profile) {
+  const uint32_t widest =
+      profile.widest_lanes() > 0 ? profile.widest_lanes() : 4;
+  std::array<size_t, kNumRegClasses> demand{};
+  for (const Type t : fn.locals()) {
+    if (t == Type::V128 && !desc.has_simd) {
+      // Scalarized lanes land in the scalar class of their element type:
+      // 16 x u8 / 8 x u16 are integer lanes, 4-lane interpretations are
+      // dominated by f32 in vectorized kernels.
+      const RegClass cls = widest >= 8 ? RegClass::Int : RegClass::Flt;
+      demand[static_cast<size_t>(cls)] += widest;
+    } else {
+      demand[static_cast<size_t>(reg_class_for(t))] += 1;
+    }
+  }
+  return demand;
+}
+
+JitOptions derive_tier2_options(const JitOptions& base,
+                                const MachineDesc& desc, const Function& fn,
+                                const ProfileInfo& profile) {
+  const StaticFacts facts = scan_function(fn);
+
+  JitOptions t2 = base;
+  PipelineSpec spec;
+  spec.append("stack_to_reg");
+  spec.append("peephole");
+  // FMA formation only where there is float work to fuse. The profile can
+  // confirm but never veto: an unexecuted float path still deserves the
+  // pass, so the gate is the *static* fact.
+  if (desc.has_fma && facts.has_float) spec.append("fma");
+  // Scalarization is a correctness gate, not a profile choice: any vector
+  // instruction the target cannot execute must be expanded, observed or
+  // not. The profile only shapes the register-demand estimate below.
+  if (!desc.has_simd && facts.has_vector) {
+    spec.append("devectorize");
+    spec.append("peephole");
+  }
+  // Hot code earns a second cleanup round before allocation; this also
+  // guarantees the tier-2 spec differs from every tier-1 default, keeping
+  // the two tiers on distinct CodeCache keys.
+  spec.append("peephole");
+  spec.append("regalloc");
+  t2.pipeline = spec;
+
+  // Where the (width-aware) demand overcommits any register class, spend
+  // the compile time tier 1 could not afford: Chaitin-Briggs coloring,
+  // the offline quality bound, minimizes spill code on the hot path.
+  const auto demand = estimate_register_demand(fn, desc, profile);
+  for (size_t cls = 0; cls < kNumRegClasses; ++cls) {
+    if (demand[cls] > desc.regs[cls]) {
+      t2.alloc_policy = AllocPolicy::OfflineChaitin;
+    }
+  }
+  return t2;
+}
+
+ProfileSeedDecision profile_seed_decision(const Module& profiled) {
+  const ProfileData profile = extract_profile(profiled);
+
+  ProfileSeedDecision decision;
+  uint64_t hot_loop_runs = 0;
+  bool any_vector = false;
+  for (uint32_t f = 0; f < profile.num_functions(); ++f) {
+    const ProfileInfo& info = profile.function(f);
+    if (!info.empty()) decision.observed = true;
+    for (const auto& [header, histogram] : info.loops) {
+      for (size_t b = trip_bucket(8); b < kProfileTripBuckets; ++b) {
+        hot_loop_runs += histogram[b];
+      }
+    }
+    for (const auto& [block, counts] : info.branches) {
+      if (counts.is_mixed()) decision.if_convert = true;
+    }
+    any_vector = any_vector || info.vector_ops() > 0;
+  }
+  if (decision.observed) {
+    // Vectorize when vector work already ran, or when hot loops give the
+    // vectorizer something to win on the next cycle.
+    decision.vectorize = any_vector || hot_loop_runs > 0;
+  }
+  return decision;
+}
+
+}  // namespace svc

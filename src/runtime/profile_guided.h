@@ -1,0 +1,64 @@
+// Profile-guided specialization policies: how observed runtime behavior
+// (Profile annotations / ProfileData) turns into compilation decisions.
+// Two consumers share this logic, closing the split-compilation loop in
+// both directions:
+//
+//   online  -- derive_tier2_options(): the tiered runtime re-runs the JIT
+//              for a hot function with a pipeline and register-allocation
+//              policy shaped by its profile (tier 2). Every derived option
+//              is semantics-preserving, so tiers stay bit-identical.
+//   offline -- profile_seed_decision(): an exported, profile-annotated
+//              module distilled into the vectorize / if-convert choices
+//              that seed the iterative tuner and the next offline cycle.
+#pragma once
+
+#include <array>
+
+#include "bytecode/module.h"
+#include "jit/jit_compiler.h"
+#include "targets/machine.h"
+#include "vm/profile.h"
+
+namespace svc {
+
+/// Estimated physical-register demand of `fn` on `desc`, per register
+/// class: one register per scalar local, and -- on targets that must
+/// scalarize -- one per lane of each V128 local, using the widest lane
+/// interpretation the profile observed (defaults to 4 when the function
+/// never ran vectorized; width >= 8 lanes land in the integer class,
+/// width-4 lanes in the float class, matching the lane scalar types).
+[[nodiscard]] std::array<size_t, kNumRegClasses> estimate_register_demand(
+    const Function& fn, const MachineDesc& desc, const ProfileInfo& profile);
+
+/// Tier-2 JitOptions for one hot function: `base` (the tier-1 options)
+/// with a profile-derived pipeline -- FMA formation only where float work
+/// was observed or present, scalarization only where the function holds
+/// vector code the target cannot execute, an extra peephole round (hot
+/// code earns the cleanup), and the offline-quality Chaitin allocator
+/// when the estimated demand exceeds the target's register budget.
+/// The result always differs from the tier-1 default pipeline, so tier-1
+/// and tier-2 artifacts never collide in the CodeCache.
+[[nodiscard]] JitOptions derive_tier2_options(const JitOptions& base,
+                                              const MachineDesc& desc,
+                                              const Function& fn,
+                                              const ProfileInfo& profile);
+
+/// Offline distillation of a profile-annotated module (the import half of
+/// the loop; see Soc::export_profiled_module for the export half).
+struct ProfileSeedDecision {
+  // False when the module carries no decodable profile: the consumer
+  // should fall back to its unprofiled default instead of trusting the
+  // remaining fields.
+  bool observed = false;
+  // Any vector work, or at least one completed loop execution with trip
+  // count >= 8: the offline vectorizer has something to pay off on.
+  bool vectorize = true;
+  // At least one branch with a >= 25% minority outcome: if-conversion
+  // has unpredictable branches to remove.
+  bool if_convert = false;
+};
+
+[[nodiscard]] ProfileSeedDecision profile_seed_decision(
+    const Module& profiled);
+
+}  // namespace svc

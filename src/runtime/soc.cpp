@@ -12,9 +12,9 @@ Soc::Soc(std::vector<CoreSpec> cores, size_t memory_bytes, SocOptions options)
   if (options_.pool_threads > 0) {
     pool_ = std::make_unique<ThreadPool>(options_.pool_threads);
   }
-  const OnlineTarget::Config core_config{options_.mode,
-                                         options_.promote_threshold, &cache_,
-                                         pool_.get()};
+  const OnlineTarget::Config core_config{
+      options_.mode,    options_.promote_threshold, options_.profile,
+      options_.tier2_threshold, &cache_,            pool_.get()};
   cores_.reserve(specs_.size());
   for (const CoreSpec& spec : specs_) {
     cores_.push_back(
@@ -43,6 +43,17 @@ void Soc::load(const Module& module) {
 
 void Soc::wait_warmup() {
   if (pool_) pool_->wait_idle();
+}
+
+ProfileData Soc::profile() const {
+  ProfileData merged;
+  for (const auto& core : cores_) merged.merge(core->profile());
+  return merged;
+}
+
+Module Soc::export_profiled_module() const {
+  if (!module_) fatal("Soc::export_profiled_module before load");
+  return attach_profile(*module_, profile());
 }
 
 SimResult Soc::run_on(size_t c, std::string_view name,

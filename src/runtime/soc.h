@@ -37,6 +37,12 @@ struct SocOptions {
   bool prefetch = false;
   // Calls of a function on a core before its JIT compile is requested.
   uint32_t promote_threshold = 1;
+  // Tier-0 runtime profiling on every core (tiered mode): feeds tier-2
+  // re-specialization and export_profiled_module().
+  bool profile = false;
+  // Calls of a function served by JITed code on a core before its
+  // profile-guided tier-2 recompile is requested; 0 disables tier 2.
+  uint32_t tier2_threshold = 0;
   // Background compile workers; 0 = no pool, tier-up compiles run
   // synchronously at the promotion threshold.
   size_t pool_threads = 0;
@@ -77,6 +83,16 @@ class Soc {
 
   /// Blocks until every in-flight background compile has finished.
   void wait_warmup();
+
+  /// Runtime profile merged across every core (empty unless
+  /// options.profile). One SoC-wide view: the cores execute the same
+  /// module, so per-function records simply accumulate.
+  [[nodiscard]] ProfileData profile() const;
+
+  /// Copy of the loaded module carrying the merged profile as Profile
+  /// annotations -- what a deployed SoC ships back to the offline tuner
+  /// (serialize it like any deployment image).
+  [[nodiscard]] Module export_profiled_module() const;
 
   /// Runs `name` synchronously on core `c`.
   [[nodiscard]] SimResult run_on(size_t c, std::string_view name,

@@ -48,6 +48,10 @@ struct SimResult {
   // interpreter (cycles then follow the deterministic interpreter cost
   // model, see online_compiler.h) instead of JITed code.
   bool interpreted = false;
+  // Which tier of the runtime answered: 0 = interpreter, 1 = fast JIT,
+  // 2 = profile-guided optimizing recompile. Results are bit-identical
+  // across tiers; only timing/codegen may differ.
+  uint8_t tier = 1;
 
   [[nodiscard]] bool ok() const { return trap == TrapKind::None; }
 };

@@ -35,11 +35,13 @@ struct FrameResult {
 // (step budget, call depth) is threaded through the reference.
 class FrameExecutor {
  public:
-  FrameExecutor(Interpreter& interp, const Function& fn)
+  FrameExecutor(Interpreter& interp, const Function& fn, uint32_t fn_idx)
       : interp_(interp),
         module_(interp.module_),
         mem_(interp.memory_),
-        fn_(fn) {}
+        fn_(fn),
+        fn_idx_(fn_idx),
+        profile_(interp.profile_) {}
 
   FrameResult run(const std::vector<Value>& args) {
     locals_.resize(fn_.num_locals());
@@ -50,24 +52,36 @@ class FrameExecutor {
       locals_[i] = args[i];
     }
     stack_.reserve(16);
+    if (profile_) {
+      profile_->record_call(fn_idx_);
+      trip_runs_.assign(fn_.num_blocks(), 0);
+    }
 
     uint32_t block = 0;
     for (;;) {
       const BasicBlock& bb = fn_.block(block);
+      cur_block_ = block;
       for (const Instruction& inst : bb.insts) {
         if (++interp_.steps_used_ > interp_.step_budget_) {
+          if (profile_) flush_trip_runs();
           return {{}, TrapKind::StepBudgetExceeded};
         }
+        if (profile_) profile_->record_op(fn_idx_, inst.op);
         const StepOutcome out = step(inst);
         switch (out.kind) {
           case StepOutcome::Next:
             break;
           case StepOutcome::Goto:
+            if (profile_) record_transfer(block, out.target);
             block = out.target;
             goto next_block;
           case StepOutcome::Return:
+            if (profile_) flush_trip_runs();
             return {out.ret, TrapKind::None};
           case StepOutcome::Trapped:
+            // Completed loop executions are recorded even when the frame
+            // ends in a trap -- a budget-bound profiling run still counts.
+            if (profile_) flush_trip_runs();
             return {{}, out.trap};
         }
       }
@@ -106,10 +120,36 @@ class FrameExecutor {
 
   StepOutcome step(const Instruction& inst);
 
+  // A control transfer to an earlier-or-equal block is a back edge: its
+  // target is a loop header and one more iteration ran. A forward entry
+  // into a block with a pending run completes that loop execution (the
+  // trip count is the back-edge count plus the initial entry).
+  void record_transfer(uint32_t from, uint32_t to) {
+    if (to <= from) {
+      ++trip_runs_[to];
+    } else if (trip_runs_[to] > 0) {
+      profile_->record_loop_run(fn_idx_, to, trip_runs_[to] + 1);
+      trip_runs_[to] = 0;
+    }
+  }
+
+  void flush_trip_runs() {
+    for (uint32_t h = 0; h < trip_runs_.size(); ++h) {
+      if (trip_runs_[h] > 0) {
+        profile_->record_loop_run(fn_idx_, h, trip_runs_[h] + 1);
+        trip_runs_[h] = 0;
+      }
+    }
+  }
+
   Interpreter& interp_;
   const Module& module_;
   Memory& mem_;
   const Function& fn_;
+  uint32_t fn_idx_ = 0;
+  ProfileData* profile_ = nullptr;
+  uint32_t cur_block_ = 0;
+  std::vector<uint64_t> trip_runs_;  // back edges taken per pending header
   std::vector<Value> locals_;
   std::vector<Value> stack_;
 };
@@ -915,6 +955,7 @@ FrameExecutor::StepOutcome FrameExecutor::step(const Instruction& inst) {
       return O::jump(inst.a);
     case Opcode::BranchIf: {
       const auto cond = pop().i32;
+      if (profile_) profile_->record_branch(fn_idx_, cur_block_, cond != 0);
       return O::jump(cond != 0 ? inst.a : inst.b);
     }
     case Opcode::Ret: {
@@ -930,7 +971,7 @@ FrameExecutor::StepOutcome FrameExecutor::step(const Instruction& inst) {
       if (++interp_.call_depth_ > interp_.max_call_depth_) {
         return O::trapped(TrapKind::CallStackOverflow);
       }
-      FrameExecutor child(interp_, callee);
+      FrameExecutor child(interp_, callee, inst.a);
       const FrameResult res = child.run(args);
       --interp_.call_depth_;
       if (res.trap != TrapKind::None) return O::trapped(res.trap);
@@ -952,7 +993,7 @@ ExecResult Interpreter::run(uint32_t func_idx,
                             const std::vector<Value>& args) {
   steps_used_ = 0;
   call_depth_ = 0;
-  FrameExecutor exec(*this, module_.function(func_idx));
+  FrameExecutor exec(*this, module_.function(func_idx), func_idx);
   const FrameResult res = exec.run(args);
   ExecResult out;
   out.steps = steps_used_;

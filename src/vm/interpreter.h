@@ -12,6 +12,7 @@
 
 #include "bytecode/module.h"
 #include "vm/memory.h"
+#include "vm/profile.h"
 #include "vm/value.h"
 
 namespace svc {
@@ -44,6 +45,12 @@ class Interpreter {
   void set_step_budget(uint64_t steps) { step_budget_ = steps; }
   void set_max_call_depth(uint32_t depth) { max_call_depth_ = depth; }
 
+  /// Attaches a profile collector (sized for this module's functions; may
+  /// be nullptr to disable). Not owned; must outlive every run(). With no
+  /// collector attached the execution loop pays only a null check per
+  /// recorded event -- profiling off is effectively free.
+  void set_profile(ProfileData* profile) { profile_ = profile; }
+
   /// Runs function `func_idx` with `args` (must match the signature).
   [[nodiscard]] ExecResult run(uint32_t func_idx,
                                const std::vector<Value>& args);
@@ -59,6 +66,7 @@ class Interpreter {
   uint64_t steps_used_ = 0;
   uint32_t max_call_depth_ = 256;
   uint32_t call_depth_ = 0;
+  ProfileData* profile_ = nullptr;
 };
 
 }  // namespace svc

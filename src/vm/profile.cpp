@@ -1,0 +1,68 @@
+#include "vm/profile.h"
+
+#include <algorithm>
+
+namespace svc {
+
+bool ProfileData::empty() const {
+  return std::all_of(fns_.begin(), fns_.end(),
+                     [](const ProfileInfo& f) { return f.empty(); });
+}
+
+void ProfileData::merge(const ProfileData& other) {
+  if (other.fns_.size() > fns_.size()) fns_.resize(other.fns_.size());
+  for (size_t i = 0; i < other.fns_.size(); ++i) {
+    fns_[i].merge(other.fns_[i]);
+  }
+}
+
+void ProfileData::record_op(uint32_t fn, Opcode op) {
+  ProfileInfo& info = fns_[fn];
+  switch (op_info(op).lanes) {
+    case LaneKind::None: ++info.scalar_ops; break;
+    case LaneKind::U8x16: ++info.lane16_ops; break;
+    case LaneKind::U16x8: ++info.lane8_ops; break;
+    case LaneKind::I32x4:
+    case LaneKind::F32x4: ++info.lane4_ops; break;
+  }
+}
+
+Module attach_profile(const Module& module, const ProfileData& profile) {
+  Module out = module;
+  for (uint32_t i = 0; i < out.num_functions(); ++i) {
+    auto& annotations = out.function(i).annotations();
+    std::erase_if(annotations, [](const Annotation& a) {
+      return a.kind == AnnotationKind::Profile;
+    });
+    if (i < profile.num_functions() && !profile.function(i).empty()) {
+      annotations.push_back(profile.function(i).encode());
+    }
+  }
+  return out;
+}
+
+ProfileData extract_profile(const Module& module) {
+  ProfileData profile(module.num_functions());
+  for (uint32_t i = 0; i < module.num_functions(); ++i) {
+    const Annotation* ann = find_annotation(module.function(i).annotations(),
+                                            AnnotationKind::Profile);
+    if (!ann) continue;
+    if (auto info = ProfileInfo::decode(ann->payload)) {
+      profile.function(i) = std::move(*info);
+    }
+  }
+  return profile;
+}
+
+bool has_profile(const Module& module) {
+  for (const Function& fn : module.functions()) {
+    const Annotation* ann =
+        find_annotation(fn.annotations(), AnnotationKind::Profile);
+    if (!ann) continue;
+    const auto info = ProfileInfo::decode(ann->payload);
+    if (info && !info->empty()) return true;
+  }
+  return false;
+}
+
+}  // namespace svc

@@ -1,0 +1,78 @@
+// Runtime profile collector for the tier-0 interpreter: per-function call
+// counts, per-branch taken counts, loop trip-count histograms and observed
+// vector widths, accumulated into the ProfileInfo records that serialize
+// as Profile annotations (bytecode/annotations.h).
+//
+// Cost contract: a ProfileData is attached to an Interpreter via
+// set_profile(); when none is attached the interpreter pays one
+// well-predicted null check per event (near-zero). ProfileData itself is
+// not thread-safe -- concurrent runtimes collect into a per-call local
+// and merge() under their own lock (see OnlineTarget::interpret).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bytecode/annotations.h"
+#include "bytecode/module.h"
+
+namespace svc {
+
+class ProfileData {
+ public:
+  ProfileData() = default;
+  explicit ProfileData(size_t num_functions) : fns_(num_functions) {}
+
+  void reset(size_t num_functions) { fns_.assign(num_functions, {}); }
+  [[nodiscard]] size_t num_functions() const { return fns_.size(); }
+  [[nodiscard]] ProfileInfo& function(uint32_t idx) { return fns_[idx]; }
+  [[nodiscard]] const ProfileInfo& function(uint32_t idx) const {
+    return fns_[idx];
+  }
+
+  /// True when nothing has been recorded for any function.
+  [[nodiscard]] bool empty() const;
+
+  /// Accumulates `other` (merged per function index; sizes may differ,
+  /// the result covers the union).
+  void merge(const ProfileData& other);
+
+  // --- Recording hooks (hot; called by the interpreter) -----------------
+
+  void record_call(uint32_t fn) { ++fns_[fn].calls; }
+  /// Classifies one executed instruction by observed width.
+  void record_op(uint32_t fn, Opcode op);
+  void record_branch(uint32_t fn, uint32_t block, bool taken) {
+    BranchProfile& b = fns_[fn].branches[block];
+    if (taken) {
+      ++b.taken;
+    } else {
+      ++b.not_taken;
+    }
+  }
+  /// One completed loop execution of `trips` header visits.
+  void record_loop_run(uint32_t fn, uint32_t header, uint64_t trips) {
+    ++fns_[fn].loops[header][trip_bucket(trips)];
+  }
+
+ private:
+  std::vector<ProfileInfo> fns_;
+};
+
+/// Copy of `module` with each function's Profile annotation replaced by
+/// the collected record (functions with empty profiles carry none). This
+/// is the export path: the returned module serializes like any other, so
+/// a deployed SoC can ship its observations back to the offline tuner.
+[[nodiscard]] Module attach_profile(const Module& module,
+                                    const ProfileData& profile);
+
+/// Reads Profile annotations back out of an annotated module (import
+/// path). Functions without a decodable record get an empty profile;
+/// version-skewed or corrupt records are skipped, not fatal.
+[[nodiscard]] ProfileData extract_profile(const Module& module);
+
+/// True when any function of `module` carries a decodable Profile
+/// annotation.
+[[nodiscard]] bool has_profile(const Module& module);
+
+}  // namespace svc

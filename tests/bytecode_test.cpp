@@ -194,6 +194,12 @@ TEST(Serializer, RoundtripPreservesEverything) {
   prio.eviction_order = {2, 3, 0, 1};
   prio.weights = {1, 2, 3, 4};
   f.annotations().push_back(prio.encode());
+  // The versioned profile section rides the same annotation channel.
+  ProfileInfo profile;
+  profile.calls = 9;
+  profile.branches[1] = {50, 14};
+  profile.loops[1][2] = 6;
+  f.annotations().push_back(profile.encode());
   m.add_function(std::move(f));
   m.add_function(build_scalar_saxpy());
 

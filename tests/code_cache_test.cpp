@@ -370,8 +370,11 @@ TEST(SocCache, PrefetchWarmsTopRankedCoreOnly) {
 
 TEST(SocCache, ConcurrentWarmupAndRunIsRaceFree) {
   // The TSan acceptance scenario: tiered load with background prefetch in
-  // flight while several threads hammer run_on across cores. pressure16
-  // only reads memory, so concurrent simulations share it safely.
+  // flight while several threads hammer run_on across cores -- with
+  // tier-0 profiling on and tier-2 re-specialization racing the traffic,
+  // so the profile merge and the copy-on-write code image are exercised
+  // under contention too. pressure16 only reads memory, so concurrent
+  // simulations share it safely.
   Module m;
   m.add_function(build_high_pressure());
   expect_verifies(m);
@@ -379,6 +382,8 @@ TEST(SocCache, ConcurrentWarmupAndRunIsRaceFree) {
   SocOptions options;
   options.mode = LoadMode::Tiered;
   options.prefetch = true;
+  options.profile = true;
+  options.tier2_threshold = 3;
   options.pool_threads = 3;
   Soc soc({{TargetKind::X86Sim, false},
            {TargetKind::X86Sim, false},

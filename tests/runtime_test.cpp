@@ -84,7 +84,9 @@ TEST(Mapper, RankCoversAllCoresSortedDescending) {
     seen[ranked[i].core] = true;
     EXPECT_DOUBLE_EQ(ranked[i].score,
                      core_affinity(soc, ranked[i].core, m.function(0)));
-    if (i > 0) EXPECT_GE(ranked[i - 1].score, ranked[i].score);
+    if (i > 0) {
+      EXPECT_GE(ranked[i - 1].score, ranked[i].score);
+    }
   }
   for (const bool s : seen) EXPECT_TRUE(s);
   EXPECT_EQ(choose_core(soc, m.function(0)), ranked.front().core);
