@@ -1,5 +1,6 @@
 // Shared bench harness helpers: kernel workload setup/arguments, cycle
-// measurement through OnlineTarget, and paper-style table printing.
+// measurement through OnlineTarget, Result unwrapping, and paper-style
+// table printing.
 #pragma once
 
 #include <cstdint>
@@ -7,12 +8,29 @@
 #include <string>
 #include <vector>
 
-#include "driver/kernels.h"
-#include "driver/offline_compiler.h"
-#include "driver/online_compiler.h"
+#include "api/svc.h"
 #include "support/rng.h"
 
 namespace svc::bench {
+
+/// Unwraps a Result<T>, aborting with its diagnostics on failure (bench
+/// inputs are known-good kernels).
+template <typename T>
+[[nodiscard]] T value_or_die(Result<T> result) {
+  if (!result.ok()) fatal("value_or_die:\n" + result.error_text());
+  return std::move(result).value();
+}
+
+inline void value_or_die(Result<void> result) {
+  if (!result.ok()) fatal("value_or_die:\n" + result.error_text());
+}
+
+/// Loads `module` into an OnlineTarget / Soc with borrowed lifetime (the
+/// bench keeps the module alive), aborting on error.
+template <typename Runtime>
+void load_or_die(Runtime& runtime, const Module& module) {
+  value_or_die(runtime.load_module(borrow_module(module)));
+}
 
 inline constexpr uint32_t kArrA = 1024;     // f32 array / output
 inline constexpr uint32_t kArrB = 1 << 16;  // f32 array

@@ -24,7 +24,7 @@ int main() {
 
   size_t total_svil = 0, total_native = 0;
   for (const KernelInfo& k : table1_kernels()) {
-    const Module m = compile_or_die(k.source);
+    const Module m = value_or_die(compile_module(k.source));
     const std::vector<uint8_t> image = serialize_module(m);
     size_t ann_bytes = 0;
     for (const Function& fn : m.functions()) {
@@ -39,7 +39,7 @@ int main() {
     size_t native_sum = 0;
     for (TargetKind kind : table1_targets()) {
       OnlineTarget target(kind);
-      target.load(m);
+      load_or_die(target, m);
       std::printf(" %10zu", target.code_bytes());
       native_sum += target.code_bytes();
     }

@@ -48,15 +48,14 @@ int main() {
     int samples = 0;
     for (const KernelInfo& k : table1_kernels()) {
       Statistics stats;
-      DiagnosticEngine diags;
-      auto module = compile_source(k.source, opts, diags, &stats);
-      if (!module) return 1;
+      auto module = compile_module(k.source, opts, &stats);
+      if (!module.ok()) return 1;
       // Strategy C repeats the offline step once per target.
       offline_us +=
           static_cast<double>(stats.get("offline.compile_us")) * s.images;
       for (TargetKind kind : targets) {
         OnlineTarget target(kind);
-        target.load(*module);
+        load_or_die(target, *module);
         online_us += target.jit_seconds() * 1e6;
         const uint64_t cycles = run_kernel_cycles(target, k, kN);
         log_cycles += std::log(static_cast<double>(cycles));
@@ -74,10 +73,10 @@ int main() {
   std::printf("%-12s %18s %18s %18s\n", "kernel", "naive (units)",
               "split (units)", "full scan (units)");
   for (const KernelInfo& k : table1_kernels()) {
-    const Module module = compile_or_die(k.source);
+    const Module module = value_or_die(compile_module(k.source));
     auto work_units = [&](AllocPolicy policy) {
       OnlineTarget target(TargetKind::SparcSim, {policy, true});
-      target.load(module);
+      load_or_die(target, module);
       return target.jit_stats().get("jit.alloc_work_units");
     };
     std::printf("%-12s %18lld %18lld %18lld\n",

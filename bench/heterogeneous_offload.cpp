@@ -14,8 +14,6 @@
 #include <cstdio>
 
 #include "bench_util.h"
-#include "runtime/dataflow.h"
-#include "runtime/mapper.h"
 
 using namespace svc;
 using namespace svc::bench;
@@ -77,11 +75,11 @@ int main() {
 
   const std::string source =
       std::string(fir_source()) + std::string(control_kernel().source);
-  const Module module = compile_or_die(source);
+  const Module module = value_or_die(compile_module(source));
 
   Soc soc({{TargetKind::PpcSim, false}, {TargetKind::SpuSim, true}},
           1 << 20);
-  soc.load(module);
+  load_or_die(soc, module);
   setup_memory(soc.memory(), kBlock + 8);
 
   // Mapper decisions straight from the annotations.

@@ -8,7 +8,6 @@
 #include <cstdio>
 
 #include "bench_util.h"
-#include "runtime/iterative.h"
 
 using namespace svc;
 using namespace svc::bench;

@@ -18,8 +18,7 @@ namespace {
 void BM_OfflineCompile(benchmark::State& state) {
   const KernelInfo& k = table1_kernels()[static_cast<size_t>(state.range(0))];
   for (auto _ : state) {
-    DiagnosticEngine diags;
-    auto module = compile_source(k.source, {}, diags);
+    auto module = compile_module(k.source);
     benchmark::DoNotOptimize(module);
   }
   state.SetLabel(std::string(k.name));
@@ -29,7 +28,7 @@ BENCHMARK(BM_OfflineCompile)->DenseRange(0, 5);
 void BM_JitCompile(benchmark::State& state) {
   const KernelInfo& k = table1_kernels()[static_cast<size_t>(state.range(0))];
   const auto kind = static_cast<TargetKind>(state.range(1));
-  const Module module = compile_or_die(k.source);
+  const Module module = value_or_die(compile_module(k.source));
   for (auto _ : state) {
     JitCompiler jit(target_desc(kind));
     JitArtifact artifact = jit.compile(module, 0);
@@ -43,7 +42,7 @@ BENCHMARK(BM_JitCompile)
 void BM_AllocPolicy(benchmark::State& state) {
   const auto policy = static_cast<AllocPolicy>(state.range(0));
   // sum u8 on sparcsim: the de-vectorized, pressure-heavy case.
-  const Module module = compile_or_die(table1_kernels()[4].source);
+  const Module module = value_or_die(compile_module(table1_kernels()[4].source));
   for (auto _ : state) {
     JitCompiler jit(target_desc(TargetKind::SparcSim), {policy, true});
     JitArtifact artifact = jit.compile(module, 0);

@@ -18,8 +18,6 @@
 #include <vector>
 
 #include "bench_util.h"
-#include "driver/kernels.h"
-#include "runtime/soc.h"
 
 namespace {
 
@@ -118,7 +116,7 @@ ConfigReport run_config(const std::string& name, const Module& module,
   options.pool_threads = 0;
 
   Soc soc(soc_cores(), 1 << 20, options);
-  soc.load(module);
+  load_or_die(soc, module);
   setup_samples(soc.memory());
 
   ConfigReport report;
@@ -169,7 +167,7 @@ ConfigReport run_config(const std::string& name, const Module& module,
 }  // namespace
 
 int main() {
-  const Module module = compile_or_die(workload_source());
+  const Module module = value_or_die(compile_module(workload_source()));
 
   const ConfigReport tier1 = run_config("tier1", module, 0);
   const ConfigReport tier2 = run_config("tier2", module, 4);

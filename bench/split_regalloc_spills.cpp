@@ -105,7 +105,7 @@ int main() {
               "split-guided", "offline-chaitin");
   const MachineDesc& sparc = target_desc(TargetKind::SparcSim);
   for (const KernelInfo& k : table1_kernels()) {
-    const Module m = compile_or_die(k.source);
+    const Module m = value_or_die(compile_module(k.source));
     std::printf("%-12s %14lld %14lld %16lld\n", std::string(k.name).c_str(),
                 static_cast<long long>(
                     static_spills(m, sparc, AllocPolicy::NaiveOnline)),

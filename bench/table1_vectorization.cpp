@@ -37,14 +37,14 @@ int main() {
   scalar_opts.vectorize = false;
 
   for (const KernelInfo& k : table1_kernels()) {
-    const Module scalar = compile_or_die(k.source, scalar_opts);
-    const Module vectorized = compile_or_die(k.source);
+    const Module scalar = value_or_die(compile_module(k.source, scalar_opts));
+    const Module vectorized = value_or_die(compile_module(k.source));
 
     std::printf("%-12s", std::string(k.name).c_str());
     for (TargetKind kind : table1_targets()) {
       OnlineTarget ts(kind), tv(kind);
-      ts.load(scalar);
-      tv.load(vectorized);
+      load_or_die(ts, scalar);
+      load_or_die(tv, vectorized);
       const uint64_t cs = run_kernel_cycles(ts, k, kN);
       const uint64_t cv = run_kernel_cycles(tv, k, kN);
       std::printf(" | %10s %8.1fk %8.1fk %7.2fx", "",

@@ -14,9 +14,6 @@
 #include <vector>
 
 #include "bench_util.h"
-#include "driver/kernels.h"
-#include "runtime/mapper.h"
-#include "runtime/soc.h"
 
 namespace {
 
@@ -30,7 +27,7 @@ Module build_suite() {
   Module suite;
   suite.set_name("warmup_suite");
   for (const KernelInfo& k : table1_kernels()) {
-    Module m = compile_or_die(k.source);
+    Module m = value_or_die(compile_module(k.source));
     suite.add_function(m.function(0));
   }
   return suite;
@@ -64,7 +61,7 @@ ConfigReport run_config(const std::string& name, const Module& suite,
 
   Soc soc(soc_cores(), 1 << 20, options);
   const auto t0 = std::chrono::steady_clock::now();
-  soc.load(suite);
+  load_or_die(soc, suite);
   const auto t1 = std::chrono::steady_clock::now();
   report.load_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
   // Let any prefetch jobs land before traffic arrives -- the install-time

@@ -5,10 +5,7 @@
 // programs both the host and the accelerators.
 #include <cstdio>
 
-#include "driver/kernels.h"
-#include "driver/offline_compiler.h"
-#include "runtime/dataflow.h"
-#include "runtime/mapper.h"
+#include "api/svc.h"
 #include "support/rng.h"
 
 using namespace svc;
@@ -16,14 +13,18 @@ using namespace svc;
 int main() {
   const std::string source =
       std::string(fir_source()) + std::string(control_kernel().source);
-  const Module module = compile_or_die(source);
 
-  // An SoC with one host core and two vector accelerators.
-  Soc soc({{TargetKind::PpcSim, false},
-           {TargetKind::SpuSim, true},
-           {TargetKind::SpuSim, true}},
-          1 << 20);
-  soc.load(module);
+  const Engine engine = Engine::Builder().build().value();
+  const ModuleHandle handle = engine.compile(source).value();
+  const Module& module = *handle;
+
+  // An SoC with one host core and two vector accelerators; the dataflow
+  // Pipeline drives the underlying Soc runtime directly.
+  Deployment deployment = engine.deploy(handle, {{TargetKind::PpcSim, false},
+                                                 {TargetKind::SpuSim, true},
+                                                 {TargetKind::SpuSim, true}})
+                              .value();
+  Soc& soc = deployment.soc();
 
   constexpr int kBlock = 1024;
   Rng rng(3);

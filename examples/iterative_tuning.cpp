@@ -5,8 +5,7 @@
 // where mispredictions are expensive.
 #include <cstdio>
 
-#include "driver/kernels.h"
-#include "runtime/iterative.h"
+#include "api/svc.h"
 #include "support/rng.h"
 
 using namespace svc;

@@ -5,27 +5,28 @@
 // code for each.
 #include <cstdio>
 
+#include "api/svc.h"
 #include "bytecode/disassembler.h"
-#include "driver/kernels.h"
-#include "driver/offline_compiler.h"
-#include "driver/online_compiler.h"
 #include "support/rng.h"
 
 using namespace svc;
 
 int main() {
   const KernelInfo& kernel = table1_kernels()[4];  // sum u8
-  const Module module = compile_or_die(kernel.source);
+
+  const Engine engine = Engine::Builder().build().value();
+  const ModuleHandle module = engine.compile(kernel.source).value();
 
   std::printf("=== portable bytecode (one image for every core) ===\n%s\n",
-              disassemble(module).c_str());
+              disassemble(*module).c_str());
 
   constexpr int kN = 2048;
   for (TargetKind kind : table1_targets()) {
-    OnlineTarget device(kind);
-    device.load(module);
+    // One single-core deployment per ISA: the same handle deploys
+    // everywhere.
+    Deployment device = engine.deploy(module, {{kind, false}}).value();
 
-    Memory mem(1 << 20);
+    Memory& mem = device.memory();
     Rng rng(7);
     int expect = 0;
     for (int i = 0; i < kN; ++i) {
@@ -34,9 +35,10 @@ int main() {
       expect += v;
     }
     const SimResult r =
-        device.run(kernel.fn_name,
-                   {Value::make_i32(4096), Value::make_i32(kN)}, mem);
-    std::printf("=== %s ===\n", device.desc().name.c_str());
+        device
+            .run(kernel.fn_name, {Value::make_i32(4096), Value::make_i32(kN)})
+            .value();
+    std::printf("=== %s ===\n", device.soc().core(0).desc().name.c_str());
     std::printf("result %d (expected %d), %llu cycles, %llu insts, "
                 "%llu spill ops\n",
                 r.value.i32, expect,
@@ -45,7 +47,8 @@ int main() {
                 static_cast<unsigned long long>(r.stats.spill_loads +
                                                 r.stats.spill_stores));
     if (kind == TargetKind::X86Sim || kind == TargetKind::SparcSim) {
-      std::printf("generated code:\n%s\n", device.code()[0].str().c_str());
+      std::printf("generated code:\n%s\n",
+                  device.soc().core(0).code()[0].str().c_str());
     }
   }
   return 0;

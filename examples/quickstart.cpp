@@ -1,22 +1,21 @@
-// Quickstart: the whole split-compilation story in one page.
+// Quickstart: the whole split-compilation story in one page, through the
+// embeddable API (api/svc.h).
 //
 //   1. Write a kernel in MiniC (the C-like source language).
-//   2. Compile it OFFLINE once: optimization + auto-vectorization +
-//      annotations -> one portable SVIL module.
-//   3. Serialize it (the deployment image, checksummed).
-//   4. On each "device", load + verify + JIT for that core's ISA --
-//      through one shared CodeCache, so same-ISA devices reuse artifacts.
-//   5. Run on the cycle-approximate simulator and compare targets.
+//   2. Build an Engine and compile OFFLINE once: optimization +
+//      auto-vectorization + annotations -> one portable SVIL module,
+//      owned by a ModuleHandle.
+//   3. Serialize it (the deployment image, checksummed) and load it back
+//      -- exactly what shipping to a device does.
+//   4. Deploy onto a five-core SoC spanning every ISA (two share one):
+//      all cores JIT through one shared CodeCache, so same-ISA cores
+//      reuse artifacts.
+//   5. Run on each core's cycle-approximate simulator and compare.
 //
-// Build & run:  ./build/examples/quickstart
+// Build & run:  ./build/example_quickstart
 #include <cstdio>
 
-#include "bytecode/serializer.h"
-#include "bytecode/verifier.h"
-#include "driver/offline_compiler.h"
-#include "driver/online_compiler.h"
-#include "ir/ir_pipeline.h"
-#include "runtime/code_cache.h"
+#include "api/svc.h"
 
 using namespace svc;
 
@@ -32,12 +31,14 @@ int main() {
     }
   )";
 
-  // 2. Offline compile (vectorization + annotations on by default).
+  // 2. One Engine = one validated configuration of the whole pipeline
+  // (offline schedule, per-target JIT, deployment runtime).
+  const Engine engine = Engine::Builder().build().value();
+
   Statistics stats;
-  DiagnosticEngine diags;
-  auto module = compile_source(source, {}, diags, &stats);
-  if (!module) {
-    std::fprintf(stderr, "compile failed:\n%s", diags.dump().c_str());
+  auto compiled = engine.compile(source, &stats);
+  if (!compiled.ok()) {
+    std::fprintf(stderr, "compile failed:\n%s", compiled.error_text().c_str());
     return 1;
   }
   std::printf("offline: vectorized %lld loop(s) in %lld us\n",
@@ -56,54 +57,46 @@ int main() {
     }
   }
 
-  // 3. One deployment image for every device.
-  const std::vector<uint8_t> image = serialize_module(*module);
+  // 3. One deployment image for every device; loading re-verifies it.
+  const std::vector<uint8_t> image = Engine::save_bytecode(compiled.value());
   std::printf("deployment image: %zu bytes\n\n", image.size());
-
-  // 4+5. Each device loads the SAME image and JITs for its own ISA. All
-  // devices compile through one shared CodeCache (what a multi-core SoC
-  // does, see src/runtime/soc.h), so a second device of an already-seen
-  // ISA installs pure cache hits.
-  const DeserializeResult loaded = deserialize_module(image);
-  if (!loaded.module) {
-    std::fprintf(stderr, "load failed: %s\n", loaded.error.c_str());
+  auto loaded = engine.load_bytecode(image);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "load failed:\n%s", loaded.error_text().c_str());
     return 1;
   }
-  DiagnosticEngine load_diags;
-  if (!verify_module(*loaded.module, load_diags)) {
-    std::fprintf(stderr, "verify failed:\n%s", load_diags.dump().c_str());
-    return 1;
-  }
+  const ModuleHandle module = std::move(loaded).value();
 
-  CodeCache cache;
-  OnlineTarget::Config shared_cache;
-  shared_cache.cache = &cache;
+  // 4. Every ISA in one deployment, plus a fifth core that repeats the
+  // first ISA: its whole load is shared-cache hits.
+  std::vector<CoreSpec> cores;
+  for (TargetKind kind : all_targets()) cores.push_back({kind, false});
+  cores.push_back({all_targets().front(), false});
 
+  Deployment deployment = engine.deploy(module, cores).value();
+
+  // 5. The SAME image runs on each core; y[10] must agree everywhere.
   constexpr int kN = 1024;
-  const auto deploy = [&](TargetKind kind) {
-    OnlineTarget device(kind, {}, shared_cache);
-    device.load(*loaded.module);
-
-    Memory mem(1 << 20);
+  for (size_t c = 0; c < deployment.num_cores(); ++c) {
+    Memory& mem = deployment.memory();
     for (int i = 0; i < kN; ++i) {
       mem.write_f32(1024 + 4 * static_cast<uint32_t>(i), 1.0f * i);
       mem.write_f32(32768 + 4 * static_cast<uint32_t>(i), 100.0f);
     }
-    const SimResult r = device.run(
-        "saxpy",
-        {Value::make_f32(2.0f), Value::make_i32(1024),
-         Value::make_i32(32768), Value::make_i32(kN)},
-        mem);
-    std::printf("%-9s jit %6.0f us, ran in %7llu cycles, y[10]=%g\n",
-                device.desc().name.c_str(), device.jit_seconds() * 1e6,
+    const SimResult r =
+        deployment
+            .run_on(c, "saxpy",
+                    {Value::make_f32(2.0f), Value::make_i32(1024),
+                     Value::make_i32(32768), Value::make_i32(kN)})
+            .value();
+    std::printf("core %zu %-9s jit %6.0f us, ran in %7llu cycles, y[10]=%g\n",
+                c, deployment.soc().core(c).desc().name.c_str(),
+                deployment.soc().core(c).jit_seconds() * 1e6,
                 static_cast<unsigned long long>(r.stats.cycles),
                 mem.read_f32(32768 + 40));
-  };
-  for (TargetKind kind : all_targets()) deploy(kind);
-  // A fifth device, same ISA as the first: its whole load() is cache hits.
-  deploy(all_targets().front());
+  }
 
-  const Statistics cache_stats = cache.stats();
+  const Statistics cache_stats = deployment.cache_stats();
   std::printf(
       "\nshared code cache: %lld hits, %lld misses, %lld compiles, "
       "%lld evictions (%lld bytes resident)\n",

@@ -5,11 +5,8 @@
 // counts on two very different cores.
 #include <cstdio>
 
-#include "driver/kernels.h"
-#include "driver/offline_compiler.h"
-#include "jit/jit_compiler.h"
+#include "api/svc.h"
 #include "regalloc/split_alloc.h"
-#include "targets/target_registry.h"
 
 using namespace svc;
 
@@ -17,7 +14,10 @@ int main() {
   // A kernel whose de-vectorized form carries 16+ simultaneously live
   // lanes: exactly the case where the online allocator's eviction
   // decisions matter.
-  const Module module = compile_or_die(table1_kernels()[3].source);  // max u8
+  const Engine engine = Engine::Builder().build().value();
+  const ModuleHandle handle =
+      engine.compile(table1_kernels()[3].source).value();  // max u8
+  const Module& module = *handle;
   const Function& fn = module.function(0);
 
   const Annotation* ann =

@@ -1,0 +1,74 @@
+#include "api/deployment.h"
+
+#include "runtime/mapper.h"
+
+namespace svc {
+
+Result<SimResult> Deployment::run(std::string_view name,
+                                  const std::vector<Value>& args) {
+  const auto idx = module_->find_function(name);
+  if (!idx) {
+    return Result<SimResult>::failure("Deployment::run: no function '" +
+                                      std::string(name) + "' in module '" +
+                                      module_.name() + "'");
+  }
+  const size_t best = choose_core(*soc_, module_->function(*idx));
+  return soc_->run_on(best, name, args);
+}
+
+Result<SimResult> Deployment::run_on(size_t core, std::string_view name,
+                                     const std::vector<Value>& args) {
+  if (core >= soc_->num_cores()) {
+    return Result<SimResult>::failure(
+        "Deployment::run_on: core " + std::to_string(core) +
+        " out of range (deployment has " +
+        std::to_string(soc_->num_cores()) + ")");
+  }
+  if (!module_->find_function(name)) {
+    return Result<SimResult>::failure("Deployment::run_on: no function '" +
+                                      std::string(name) + "' in module '" +
+                                      module_.name() + "'");
+  }
+  return soc_->run_on(core, name, args);
+}
+
+std::future<void> Deployment::warm_up() {
+  // The async job captures the Soc and the module by shared ownership /
+  // raw pointer into soc_ -- both stable across moves of the Deployment
+  // (the Soc object itself never moves).
+  Soc* soc = soc_.get();
+  std::shared_ptr<const Module> module = module_.shared();
+  return std::async(std::launch::async, [soc, module] {
+    const auto n = static_cast<uint32_t>(module->num_functions());
+    for (size_t c = 0; c < soc->num_cores(); ++c) {
+      for (uint32_t f = 0; f < n; ++f) soc->core(c).request_compile(f);
+    }
+    soc->wait_warmup();
+  });
+}
+
+void Deployment::wait_warmup() { soc_->wait_warmup(); }
+
+Deployment::TierCounters Deployment::tier_counters() const {
+  TierCounters counters;
+  for (size_t c = 0; c < soc_->num_cores(); ++c) {
+    const OnlineTarget& core = soc_->core(c);
+    counters.interpreted += core.interpreted_calls();
+    counters.jitted += core.jitted_calls();
+    counters.tier2 += core.tier2_calls();
+    counters.tier2_functions += core.tier2_functions();
+  }
+  return counters;
+}
+
+Statistics Deployment::cache_stats() const { return soc_->code_cache().stats(); }
+
+size_t Deployment::num_cores() const { return soc_->num_cores(); }
+
+Memory& Deployment::memory() { return soc_->memory(); }
+
+ModuleHandle Deployment::export_profile() const {
+  return ModuleHandle::adopt(soc_->export_profiled_module());
+}
+
+}  // namespace svc

@@ -1,0 +1,100 @@
+// Deployment: one module running on one (possibly heterogeneous) set of
+// cores -- the runtime half of the embeddable API (api/svc.h). Produced
+// by Engine::deploy; wraps the Soc runtime (shared CodeCache, background
+// JIT, tiered execution, profiling) behind a handle an embedder can hold
+// without knowing any of those types exist.
+//
+// The deployment shares ownership of its module, so it stays valid after
+// the Engine and every external ModuleHandle are gone. Move-only.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "api/module_handle.h"
+#include "runtime/soc.h"
+#include "support/result.h"
+
+namespace svc {
+
+class Deployment {
+ public:
+  Deployment(Deployment&&) noexcept = default;
+  Deployment& operator=(Deployment&&) noexcept = default;
+
+  /// Calls served per tier across all cores since load: tier 0
+  /// (interpreter), tier 1 (fast JIT), tier 2 (profile-guided
+  /// re-specialization; a subset of `jitted`). Eager deployments do no
+  /// tier bookkeeping and report zeros.
+  struct TierCounters {
+    uint64_t interpreted = 0;
+    uint64_t jitted = 0;
+    uint64_t tier2 = 0;
+    // Functions with an installed tier-2 artifact, summed over cores.
+    uint64_t tier2_functions = 0;
+  };
+
+  /// Runs `name` on the core the annotation-driven mapper ranks best for
+  /// it (runtime/mapper.h) -- the paper's "annotations drive mapping"
+  /// story as the default call path. Fails on an unknown function name.
+  [[nodiscard]] Result<SimResult> run(std::string_view name,
+                                      const std::vector<Value>& args);
+
+  /// Runs `name` on core `core`. Fails on an out-of-range core or an
+  /// unknown function name.
+  [[nodiscard]] Result<SimResult> run_on(size_t core, std::string_view name,
+                                         const std::vector<Value>& args);
+
+  /// Asynchronously compiles every function on every core (through the
+  /// shared cache, so same-ISA cores coalesce). The returned future
+  /// completes when the deployment is fully warm: every subsequent run is
+  /// served by JITed code. Ready immediately for eager deployments. The
+  /// future must not outlive this Deployment.
+  [[nodiscard]] std::future<void> warm_up();
+
+  /// Blocks until in-flight background compiles are done (cheap synonym
+  /// for warm_up().wait() when no new compile requests are wanted).
+  void wait_warmup();
+
+  [[nodiscard]] TierCounters tier_counters() const;
+
+  /// Shared code-cache counters: cache.hits, cache.misses,
+  /// cache.compiles, cache.coalesced, cache.evictions, cache.bytes.
+  [[nodiscard]] Statistics cache_stats() const;
+
+  [[nodiscard]] size_t num_cores() const;
+
+  /// The deployment's linear memory (shared by all cores).
+  [[nodiscard]] Memory& memory();
+
+  /// The deployed module (shared ownership).
+  [[nodiscard]] const ModuleHandle& module() const { return module_; }
+
+  /// Copy of the deployed module carrying the runtime profile observed so
+  /// far (merged across cores) as Profile annotations: feed it straight
+  /// back into Engine::Builder::with_profile() -- or serialize it -- to
+  /// close the compile -> deploy -> profile -> recompile loop. Meaningful
+  /// when the engine was built with profiling(); otherwise the annotations
+  /// are empty.
+  [[nodiscard]] ModuleHandle export_profile() const;
+
+  /// Escape hatch to the underlying runtime for callers that need
+  /// per-core control (request_compile, DMA model, ...). The Soc is owned
+  /// by this Deployment; everything reachable from it follows the
+  /// Deployment's lifetime.
+  [[nodiscard]] Soc& soc() { return *soc_; }
+  [[nodiscard]] const Soc& soc() const { return *soc_; }
+
+ private:
+  friend class Engine;
+  Deployment(std::unique_ptr<Soc> soc, ModuleHandle module)
+      : soc_(std::move(soc)), module_(std::move(module)) {}
+
+  std::unique_ptr<Soc> soc_;
+  ModuleHandle module_;
+};
+
+}  // namespace svc

@@ -1,0 +1,234 @@
+#include "api/engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "bytecode/serializer.h"
+#include "bytecode/verifier.h"
+#include "ir/ir_pipeline.h"
+#include "jit/jit_pipeline.h"
+
+namespace svc {
+
+// --- Builder setters -------------------------------------------------------
+
+Engine::Builder& Engine::Builder::vectorize(bool on) {
+  options_.offline.vectorize = on;
+  return *this;
+}
+
+Engine::Builder& Engine::Builder::annotate_spill_priorities(bool on) {
+  options_.offline.annotate_spill_priorities = on;
+  return *this;
+}
+
+Engine::Builder& Engine::Builder::annotate_hardware_hints(bool on) {
+  options_.offline.annotate_hardware_hints = on;
+  return *this;
+}
+
+Engine::Builder& Engine::Builder::pass_options(const PassOptions& options) {
+  options_.offline.passes = options;
+  return *this;
+}
+
+Engine::Builder& Engine::Builder::offline_pipeline(std::string_view spec) {
+  offline_pipeline_ = std::string(spec);
+  offline_pipeline_set_ = true;
+  return *this;
+}
+
+Engine::Builder& Engine::Builder::alloc_policy(AllocPolicy policy) {
+  options_.jit.alloc_policy = policy;
+  return *this;
+}
+
+Engine::Builder& Engine::Builder::use_annotations(bool on) {
+  options_.jit.use_annotations = on;
+  return *this;
+}
+
+Engine::Builder& Engine::Builder::jit_pipeline(std::string_view spec) {
+  jit_pipeline_ = std::string(spec);
+  jit_pipeline_set_ = true;
+  return *this;
+}
+
+Engine::Builder& Engine::Builder::eager() {
+  options_.mode = LoadMode::Eager;
+  return *this;
+}
+
+Engine::Builder& Engine::Builder::tiered(uint32_t promote_threshold) {
+  options_.mode = LoadMode::Tiered;
+  options_.promote_threshold = promote_threshold;
+  return *this;
+}
+
+Engine::Builder& Engine::Builder::prefetch(bool on) {
+  options_.prefetch = on;
+  return *this;
+}
+
+Engine::Builder& Engine::Builder::profiling(bool on) {
+  options_.profile = on;
+  return *this;
+}
+
+Engine::Builder& Engine::Builder::tier2(uint32_t threshold) {
+  options_.tier2_threshold = threshold;
+  return *this;
+}
+
+Engine::Builder& Engine::Builder::pool_threads(size_t threads) {
+  options_.pool_threads = threads;
+  return *this;
+}
+
+Engine::Builder& Engine::Builder::cache_budget(size_t bytes) {
+  options_.cache_budget_bytes = bytes;
+  return *this;
+}
+
+Engine::Builder& Engine::Builder::memory_bytes(size_t bytes) {
+  options_.memory_bytes = bytes;
+  return *this;
+}
+
+Engine::Builder& Engine::Builder::with_profile(ModuleHandle profiled) {
+  profile_ = std::move(profiled);
+  return *this;
+}
+
+// --- Builder validation ----------------------------------------------------
+
+Result<Engine> Engine::Builder::build() const {
+  EngineOptions options = options_;
+  std::vector<Diagnostic> problems;
+  const auto problem = [&problems](std::string message) {
+    problems.push_back({Severity::Error, {}, std::move(message)});
+  };
+
+  if (offline_pipeline_set_) {
+    auto spec = PipelineSpec::parse(offline_pipeline_);
+    if (!spec) {
+      problem("offline pipeline '" + offline_pipeline_ +
+              "' is not a valid pass list");
+    } else {
+      if (const auto unknown = ir_pass_manager().first_unknown(*spec)) {
+        problem("unknown IR pass '" + *unknown + "' in offline pipeline '" +
+                spec->str() + "'");
+      }
+      options.offline.pipeline = std::move(*spec);
+    }
+  }
+
+  if (jit_pipeline_set_) {
+    auto spec = PipelineSpec::parse(jit_pipeline_);
+    if (!spec) {
+      problem("JIT pipeline '" + jit_pipeline_ +
+              "' is not a valid pass list");
+    } else {
+      if (const auto unknown = jit_pass_manager().first_unknown(*spec)) {
+        problem("unknown JIT phase '" + *unknown + "' in pipeline '" +
+                spec->str() + "'");
+      }
+      if (spec->empty() || spec->names().front() != "stack_to_reg") {
+        problem("JIT pipeline '" + spec->str() +
+                "' must start with 'stack_to_reg' (the translation that "
+                "creates the machine function the later phases transform)");
+      }
+      options.jit.pipeline = std::move(*spec);
+    }
+  }
+
+  if (options.mode == LoadMode::Eager) {
+    if (options.prefetch) {
+      problem("prefetch() requires a tiered() engine: eager deployments "
+              "compile everything at deploy() already");
+    }
+    if (options.profile) {
+      problem("profiling() requires a tiered() engine: the runtime profile "
+              "is collected by the tier-0 interpreter");
+    }
+    if (options.tier2_threshold > 0) {
+      problem("tier2() requires a tiered() engine: re-specialization "
+              "promotes functions that are hot at tier 1");
+    }
+  } else if (options.promote_threshold == 0) {
+    problem("tiered() promote_threshold must be at least 1 (a function is "
+            "promoted after that many calls)");
+  }
+
+  if (options.memory_bytes == 0) {
+    problem("memory_bytes() must be non-zero: deployments execute against "
+            "this linear memory");
+  }
+
+  if (!problems.empty()) return Result<Engine>::failure(std::move(problems));
+  return Engine(std::move(options), profile_);
+}
+
+// --- Engine ----------------------------------------------------------------
+
+Result<ModuleHandle> Engine::compile(std::string_view source,
+                                     Statistics* stats) const {
+  OfflineOptions offline = options_.offline;
+  if (profile_) offline.profile = profile_.get();
+  Result<Module> module = compile_module(source, offline, stats);
+  if (!module.ok()) return Result<ModuleHandle>::failure(module.error());
+  return ModuleHandle::adopt(std::move(module).value());
+}
+
+Result<ModuleHandle> Engine::load_bytecode(
+    std::span<const uint8_t> bytes) const {
+  DeserializeResult loaded = deserialize_module(bytes);
+  if (!loaded.module) {
+    return Result<ModuleHandle>::failure("deserialize failed: " +
+                                         loaded.error);
+  }
+  DiagnosticEngine diags;
+  if (!verify_module(*loaded.module, diags)) {
+    diags.note({}, "while verifying deserialized module '" +
+                       loaded.module->name() + "'");
+    return Result<ModuleHandle>::failure(diags.all());
+  }
+  return ModuleHandle::adopt(std::move(*loaded.module));
+}
+
+std::vector<uint8_t> Engine::save_bytecode(const ModuleHandle& module) {
+  if (!module) fatal("Engine::save_bytecode: empty module handle");
+  return serialize_module(*module);
+}
+
+Result<Deployment> Engine::deploy(const ModuleHandle& module,
+                                  std::vector<CoreSpec> cores) const {
+  if (!module) {
+    return Result<Deployment>::failure("Engine::deploy: empty module handle");
+  }
+  if (cores.empty()) {
+    return Result<Deployment>::failure(
+        "Engine::deploy: a deployment needs at least one core");
+  }
+
+  SocOptions soc_options;
+  soc_options.jit = options_.jit;
+  soc_options.mode = options_.mode;
+  soc_options.prefetch = options_.prefetch;
+  soc_options.promote_threshold = options_.promote_threshold;
+  soc_options.profile = options_.profile;
+  soc_options.tier2_threshold = options_.tier2_threshold;
+  soc_options.pool_threads = options_.pool_threads;
+  soc_options.cache_budget_bytes = options_.cache_budget_bytes;
+
+  const size_t memory_bytes =
+      std::max<size_t>(options_.memory_bytes, module->memory_hint());
+  auto soc =
+      std::make_unique<Soc>(std::move(cores), memory_bytes, soc_options);
+  if (Result<void> r = soc->load_module(module.shared()); !r.ok()) {
+    return Result<Deployment>::failure(r.error());
+  }
+  return Deployment(std::move(soc), module);
+}
+
+}  // namespace svc

@@ -1,0 +1,175 @@
+// svc::Engine -- the embeddable facade over the whole split pipeline.
+// One object, built once from one Builder, answers every entry point the
+// paper's "compile once, deploy the same bytecode everywhere" story
+// needs:
+//
+//   Engine::Builder      unified offline + JIT + runtime configuration,
+//                        validated at build() (misconfiguration is a
+//                        Result error, not a surprise at run time)
+//   engine.compile()     MiniC source -> Result<ModuleHandle>
+//   engine.load_bytecode()  deployment image -> Result<ModuleHandle>
+//   Engine::save_bytecode() ModuleHandle -> deployment image
+//   engine.deploy()      ModuleHandle + cores -> Result<Deployment>
+//
+// and the feedback loop closes in ~10 lines:
+//
+//   auto engine = value_or_die(Engine::Builder().tiered().profiling()
+//                                  .tier2(32).build());
+//   auto module = value_or_die(engine.compile(source));
+//   auto dep    = value_or_die(engine.deploy(module, cores));
+//   dep.warm_up().get();
+//   ... dep.run("kernel", args) ...
+//   auto tuned  = value_or_die(Engine::Builder()
+//                                  .with_profile(dep.export_profile())
+//                                  .build());
+//   auto better = value_or_die(tuned.compile(source));   // profile-seeded
+//
+// Errors travel as structured diagnostics inside Result<T>
+// (support/result.h): no optional-plus-out-param, no fatal paths.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/deployment.h"
+#include "api/module_handle.h"
+#include "driver/offline_compiler.h"
+#include "runtime/soc.h"
+#include "support/result.h"
+
+namespace svc {
+
+/// The full, validated configuration behind an Engine: offline schedule,
+/// per-target JIT options, and deployment-runtime knobs in one place
+/// (replacing the OfflineOptions / JitOptions / OnlineTargetConfig /
+/// SocOptions quartet an embedder previously stitched together by hand).
+/// Assembled by Engine::Builder; read-only afterwards.
+struct EngineOptions {
+  // Offline (imported profiles are carried separately, as an owned
+  // handle -- see Engine::Builder::with_profile).
+  OfflineOptions offline;
+  // Per-target JIT.
+  JitOptions jit;
+  // Deployment runtime (Soc/OnlineTarget wiring).
+  LoadMode mode = LoadMode::Eager;
+  bool prefetch = false;
+  uint32_t promote_threshold = 1;
+  bool profile = false;
+  uint32_t tier2_threshold = 0;
+  size_t pool_threads = 0;
+  size_t cache_budget_bytes = SIZE_MAX;
+  // Linear memory per deployment; raised to the module's own memory hint
+  // at deploy() when that is larger.
+  size_t memory_bytes = size_t{1} << 20;
+};
+
+class Engine {
+ public:
+  class Builder;
+
+  /// Compiles MiniC source offline (optimization, vectorization,
+  /// annotations; seeded by the imported profile when the engine was
+  /// built with_profile). All diagnostics of a failed compile come back
+  /// inside the Result.
+  [[nodiscard]] Result<ModuleHandle> compile(std::string_view source,
+                                             Statistics* stats = nullptr) const;
+
+  /// Loads and verifies a serialized deployment image
+  /// (Engine::save_bytecode / serialize_module output).
+  [[nodiscard]] Result<ModuleHandle> load_bytecode(
+      std::span<const uint8_t> bytes) const;
+
+  /// Serializes a module into the deployment image format (checksummed;
+  /// the bytes every device of the fleet receives).
+  [[nodiscard]] static std::vector<uint8_t> save_bytecode(
+      const ModuleHandle& module);
+
+  /// Deploys `module` onto `cores` with the engine's runtime
+  /// configuration: one Soc sharing one CodeCache (and, with
+  /// pool_threads, one background-compile pool) across all cores.
+  [[nodiscard]] Result<Deployment> deploy(const ModuleHandle& module,
+                                          std::vector<CoreSpec> cores) const;
+
+  [[nodiscard]] const EngineOptions& options() const { return options_; }
+
+  /// The profile module imported via Builder::with_profile (empty handle
+  /// when none): kept alive by the engine for as long as compiles may
+  /// read it.
+  [[nodiscard]] const ModuleHandle& imported_profile() const {
+    return profile_;
+  }
+
+ private:
+  friend class Builder;
+  Engine(EngineOptions options, ModuleHandle profile)
+      : options_(std::move(options)), profile_(std::move(profile)) {}
+
+  EngineOptions options_;
+  ModuleHandle profile_;
+};
+
+/// Fluent, validated construction of an Engine. Setters only record; all
+/// validation happens in build(), which reports every problem it finds
+/// (unknown pass names, contradictory runtime knobs, ...) as one Result
+/// failure.
+class Engine::Builder {
+ public:
+  // --- offline schedule ---
+  Builder& vectorize(bool on);
+  Builder& annotate_spill_priorities(bool on);
+  Builder& annotate_hardware_hints(bool on);
+  Builder& pass_options(const PassOptions& options);
+  /// Explicit IR pipeline ("fold,simplify,dce,vectorize,...": names from
+  /// ir/ir_pipeline.h); replaces the knob-derived default schedule.
+  Builder& offline_pipeline(std::string_view spec);
+
+  // --- per-target JIT ---
+  Builder& alloc_policy(AllocPolicy policy);
+  Builder& use_annotations(bool on);
+  /// Explicit JIT phase chain (names from jit/jit_pipeline.h; must start
+  /// with "stack_to_reg").
+  Builder& jit_pipeline(std::string_view spec);
+
+  // --- deployment runtime ---
+  /// Eager deployments JIT everything at deploy() (the default).
+  Builder& eager();
+  /// Tiered deployments interpret first and promote functions to JITed
+  /// code after `promote_threshold` calls.
+  Builder& tiered(uint32_t promote_threshold = 1);
+  /// Tiered only: background-compile each function on its best-ranked
+  /// core at deploy().
+  Builder& prefetch(bool on = true);
+  /// Tiered only: collect a runtime profile in the tier-0 interpreter
+  /// (feeds tier2() and Deployment::export_profile()).
+  Builder& profiling(bool on = true);
+  /// Tiered only: re-specialize a function with profile-guided options
+  /// after `threshold` JIT-served calls (0 disables tier 2).
+  Builder& tier2(uint32_t threshold);
+  Builder& pool_threads(size_t threads);
+  Builder& cache_budget(size_t bytes);
+  Builder& memory_bytes(size_t bytes);
+
+  // --- feedback loop ---
+  /// Imports a profile-annotated module (Deployment::export_profile or a
+  /// deserialized image of one): compiles seed their schedule from the
+  /// observed behavior and carry the annotations forward. The engine
+  /// shares ownership, so the handle may be dropped after build().
+  Builder& with_profile(ModuleHandle profiled);
+
+  /// Validates the assembled configuration. On failure the Result lists
+  /// every problem found, not just the first.
+  [[nodiscard]] Result<Engine> build() const;
+
+ private:
+  EngineOptions options_;
+  ModuleHandle profile_;
+  std::string offline_pipeline_;
+  std::string jit_pipeline_;
+  bool offline_pipeline_set_ = false;
+  bool jit_pipeline_set_ = false;
+};
+
+}  // namespace svc

@@ -1,0 +1,57 @@
+// ModuleHandle: owned handle to a deployable SVIL module -- the unit the
+// embeddable API (api/svc.h) passes between compile, serialize, deploy,
+// and the profile feedback loop. It wraps std::shared_ptr<const Module>,
+// so targets, Socs, Deployments, and the CodeCache share ownership: the
+// module stays alive as long as anything references it, including past
+// the destruction of the Engine that produced it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "bytecode/module.h"
+
+namespace svc {
+
+class ModuleHandle {
+ public:
+  /// Empty handle (boolean-false); produced only by default construction.
+  ModuleHandle() = default;
+
+  /// Shares ownership of an existing module.
+  explicit ModuleHandle(std::shared_ptr<const Module> module)
+      : module_(std::move(module)) {}
+
+  /// Takes ownership of a freshly produced module (what Engine::compile
+  /// and Deployment::export_profile do internally).
+  [[nodiscard]] static ModuleHandle adopt(Module module) {
+    return ModuleHandle(std::make_shared<const Module>(std::move(module)));
+  }
+
+  [[nodiscard]] explicit operator bool() const { return module_ != nullptr; }
+
+  [[nodiscard]] const Module& operator*() const { return *module_; }
+  [[nodiscard]] const Module* operator->() const { return module_.get(); }
+  [[nodiscard]] const Module* get() const { return module_.get(); }
+
+  /// The underlying shared ownership, for handing to load_module() and
+  /// friends directly.
+  [[nodiscard]] const std::shared_ptr<const Module>& shared() const {
+    return module_;
+  }
+
+  /// The module's stable identity (Module::id()); 0 for an empty handle.
+  [[nodiscard]] uint64_t id() const { return module_ ? module_->id() : 0; }
+
+  [[nodiscard]] const std::string& name() const {
+    static const std::string kEmpty;
+    return module_ ? module_->name() : kEmpty;
+  }
+
+ private:
+  std::shared_ptr<const Module> module_;
+};
+
+}  // namespace svc

@@ -1,6 +1,19 @@
 #include "bytecode/module.h"
 
+#include <atomic>
+#include <cassert>
+
 namespace svc {
+
+uint64_t next_module_id() {
+  static std::atomic<uint64_t> counter{0};
+  const uint64_t id = counter.fetch_add(1, std::memory_order_relaxed) + 1;
+  // Ids are never reused: a 64-bit monotonic counter cannot wrap in any
+  // real process, and the debug assert documents the invariant the
+  // CodeCache relies on.
+  assert(id != 0 && "module id counter wrapped; ids would be reused");
+  return id;
+}
 
 std::optional<uint32_t> Module::find_function(std::string_view name) const {
   for (uint32_t i = 0; i < functions_.size(); ++i) {

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -13,8 +14,55 @@
 
 namespace svc {
 
+/// Mints the next process-unique module id (monotonic, starts at 1, never
+/// reused; asserts on wrap in debug builds). 0 is reserved for
+/// moved-from modules.
+[[nodiscard]] uint64_t next_module_id();
+
 class Module {
  public:
+  /// Every module carries a process-unique identity from birth: the
+  /// CodeCache keys artifacts by it (not by address), so a module freed
+  /// and another allocated at the same address can never alias a stale
+  /// artifact. Copies are distinct modules (the copy may be mutated
+  /// independently) and mint a fresh id; moves transfer the id and leave
+  /// the source at id 0, which the loaders assert against.
+  Module() = default;
+  Module(const Module& other)
+      : name_(other.name_),
+        functions_(other.functions_),
+        memory_hint_(other.memory_hint_) {}
+  Module& operator=(const Module& other) {
+    if (this != &other) {
+      name_ = other.name_;
+      functions_ = other.functions_;
+      memory_hint_ = other.memory_hint_;
+      id_ = next_module_id();
+    }
+    return *this;
+  }
+  Module(Module&& other) noexcept
+      : name_(std::move(other.name_)),
+        functions_(std::move(other.functions_)),
+        memory_hint_(other.memory_hint_),
+        id_(other.id_) {
+    other.id_ = 0;
+  }
+  Module& operator=(Module&& other) noexcept {
+    if (this != &other) {
+      name_ = std::move(other.name_);
+      functions_ = std::move(other.functions_);
+      memory_hint_ = other.memory_hint_;
+      id_ = other.id_;
+      other.id_ = 0;
+    }
+    return *this;
+  }
+
+  /// Stable identity for caches and registries. Monotonic across the
+  /// process; 0 only for moved-from husks.
+  [[nodiscard]] uint64_t id() const { return id_; }
+
   /// Appends a function; returns its index.
   uint32_t add_function(Function fn) {
     functions_.push_back(std::move(fn));
@@ -45,6 +93,17 @@ class Module {
   std::string name_;
   std::vector<Function> functions_;
   uint64_t memory_hint_ = 1 << 20;
+  uint64_t id_ = next_module_id();
 };
+
+/// Non-owning std::shared_ptr view of a caller-managed module: the bridge
+/// from the legacy raw-reference lifetime contract ("module must outlive
+/// the target") to the shared-ownership loaders. The caller remains
+/// responsible for keeping `module` alive; prefer real shared ownership
+/// (api/svc.h ModuleHandle) in new code.
+[[nodiscard]] inline std::shared_ptr<const Module> borrow_module(
+    const Module& module) {
+  return {std::shared_ptr<const Module>(), &module};
+}
 
 }  // namespace svc

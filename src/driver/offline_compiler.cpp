@@ -63,16 +63,16 @@ HardwareHintsInfo compute_hw_hints(const Function& fn) {
 
 }  // namespace
 
-std::optional<Module> compile_source(std::string_view source,
-                                     const OfflineOptions& options,
-                                     DiagnosticEngine& diags,
-                                     Statistics* stats) {
+Result<Module> compile_module(std::string_view source,
+                              const OfflineOptions& options,
+                              Statistics* stats) {
   const auto t0 = std::chrono::steady_clock::now();
 
+  DiagnosticEngine diags;
   auto program = parse_program(source, diags);
-  if (!program) return std::nullopt;
+  if (!program) return Result<Module>::failure(diags.all());
   auto ir_fns = generate_ir(*program, diags);
-  if (!ir_fns) return std::nullopt;
+  if (!ir_fns) return Result<Module>::failure(diags.all());
 
   // Schedule precedence: an explicit pipeline wins; otherwise an imported
   // profile seeds the vectorize / if-convert decisions with observed
@@ -93,7 +93,7 @@ std::optional<Module> compile_source(std::string_view source,
   if (const auto unknown = ir_pass_manager().first_unknown(spec)) {
     diags.error({}, "unknown IR pass '" + *unknown + "' in pipeline '" +
                         spec.str() + "'");
-    return std::nullopt;
+    return Result<Module>::failure(diags.all());
   }
 
   Module module;
@@ -126,7 +126,7 @@ std::optional<Module> compile_source(std::string_view source,
     module.add_function(std::move(fn));
   }
 
-  if (!verify_module(module, diags)) return std::nullopt;
+  if (!verify_module(module, diags)) return Result<Module>::failure(diags.all());
 
   if (stats) {
     const auto t1 = std::chrono::steady_clock::now();
@@ -137,14 +137,29 @@ std::optional<Module> compile_source(std::string_view source,
   return module;
 }
 
+// The deprecated shims below are implemented strictly in terms of
+// compile_module so old and new entry points cannot drift apart
+// (tests/api_test.cpp asserts bit-identical output).
+
+std::optional<Module> compile_source(std::string_view source,
+                                     const OfflineOptions& options,
+                                     DiagnosticEngine& diags,
+                                     Statistics* stats) {
+  Result<Module> result = compile_module(source, options, stats);
+  if (!result.ok()) {
+    for (const Diagnostic& d : result.error()) diags.report(d);
+    return std::nullopt;
+  }
+  return std::move(result).value();
+}
+
 Module compile_or_die(std::string_view source,
                       const OfflineOptions& options) {
-  DiagnosticEngine diags;
-  auto module = compile_source(source, options, diags);
-  if (!module) {
-    fatal("compile_or_die failed:\n" + diags.dump());
+  Result<Module> result = compile_module(source, options);
+  if (!result.ok()) {
+    fatal("compile_or_die failed:\n" + result.error_text());
   }
-  return std::move(*module);
+  return std::move(result).value();
 }
 
 }  // namespace svc

@@ -14,6 +14,7 @@
 #include "ir/passes.h"
 #include "support/diagnostics.h"
 #include "support/pass_manager.h"
+#include "support/result.h"
 #include "support/statistics.h"
 
 namespace svc {
@@ -38,16 +39,26 @@ struct OfflineOptions {
   const Module* profile = nullptr;
 };
 
-/// Compiles MiniC `source` into a deployable module. Returns nullopt with
-/// diagnostics on any error (including verifier failures, which indicate
-/// compiler bugs and are reported rather than asserted).
-[[nodiscard]] std::optional<Module> compile_source(
-    std::string_view source, const OfflineOptions& options,
-    DiagnosticEngine& diags, Statistics* stats = nullptr);
+/// Compiles MiniC `source` into a deployable module. The single offline
+/// entry point: a failed compile (parse/sema errors, unknown pipeline
+/// passes, verifier failures) returns every diagnostic structured inside
+/// the Result -- nothing fatals, nothing needs an out-param. Embedders
+/// normally reach this through svc::Engine::compile (api/svc.h).
+[[nodiscard]] Result<Module> compile_module(std::string_view source,
+                                            const OfflineOptions& options = {},
+                                            Statistics* stats = nullptr);
 
-/// Convenience wrapper with default options; fatals on error (for tests
-/// and benches compiling known-good kernel sources).
-[[nodiscard]] Module compile_or_die(std::string_view source,
-                                    const OfflineOptions& options = {});
+/// Deprecated optional-plus-out-param spelling of compile_module(); the
+/// diagnostics are replayed into `diags`. Bit-identical to the facade
+/// path (asserted by tests/api_test.cpp).
+[[deprecated("use compile_module() (or svc::Engine::compile); see README "
+             "'Embedding API'")]] [[nodiscard]] std::optional<Module>
+compile_source(std::string_view source, const OfflineOptions& options,
+               DiagnosticEngine& diags, Statistics* stats = nullptr);
+
+/// Deprecated fatal-on-error wrapper (pre-Result test/bench convenience).
+[[deprecated("use value_or_die(compile_module(...)) -- tests/test_util.h "
+             "or bench/bench_util.h")]] [[nodiscard]] Module
+compile_or_die(std::string_view source, const OfflineOptions& options = {});
 
 }  // namespace svc

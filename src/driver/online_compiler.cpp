@@ -1,5 +1,6 @@
 #include "driver/online_compiler.h"
 
+#include <cassert>
 #include <chrono>
 
 #include "bytecode/verifier.h"
@@ -69,11 +70,15 @@ void OnlineTarget::drain_pending() {
   for (const auto& future : pending) future.wait();
 }
 
-void OnlineTarget::load(const Module& module) {
+Result<void> OnlineTarget::load_module(std::shared_ptr<const Module> module) {
+  if (!module) {
+    return Result<void>::failure("OnlineTarget::load_module: null module");
+  }
+  assert(module->id() != 0 && "loading a moved-from module");
   DiagnosticEngine diags;
-  if (!verify_module(module, diags)) {
-    fatal("OnlineTarget::load: invalid module '" + module.name() + "':\n" +
-          diags.dump());
+  if (!verify_module(*module, diags)) {
+    diags.note({}, "while loading module '" + module->name() + "'");
+    return Result<void>::failure(diags.all());
   }
 
   // Re-loading while compiles of the previous module are in flight would
@@ -81,7 +86,8 @@ void OnlineTarget::load(const Module& module) {
   drain_pending();
 
   std::lock_guard<std::mutex> lock(mutex_);
-  module_ = &module;
+  module_ = std::move(module);
+  const Module& mod = *module_;
   jit_stats_.clear();
   jit_seconds_ = 0.0;
   interpreted_calls_ = 0;
@@ -90,19 +96,19 @@ void OnlineTarget::load(const Module& module) {
   code_.clear();
   states_.clear();
   image_.reset();
-  profile_.reset(config_.profile ? module.num_functions() : 0);
+  profile_.reset(config_.profile ? mod.num_functions() : 0);
 
-  const uint32_t n = static_cast<uint32_t>(module.num_functions());
+  const uint32_t n = static_cast<uint32_t>(mod.num_functions());
   if (config_.mode == LoadMode::Tiered) {
     // No compilation now: empty slots are filled as artifacts install.
     code_.resize(n);
     states_.resize(n);
     image_ = std::make_shared<std::vector<MFunction>>(code_);
-    const auto callees = callee_graph(module);
+    const auto callees = callee_graph(mod);
     for (uint32_t i = 0; i < n; ++i) {
       states_[i].reachable = reachable_functions(callees, i);
     }
-    return;
+    return {};
   }
 
   const auto t0 = std::chrono::steady_clock::now();
@@ -114,6 +120,18 @@ void OnlineTarget::load(const Module& module) {
   }
   const auto t1 = std::chrono::steady_clock::now();
   jit_seconds_ = std::chrono::duration<double>(t1 - t0).count();
+  return {};
+}
+
+void OnlineTarget::load(const Module& module) {
+  // Deprecated shim: borrowed lifetime (caller keeps `module` alive),
+  // fatal on error -- the pre-Result contract, implemented on the new
+  // path so the two cannot diverge.
+  const Result<void> result = load_module(borrow_module(module));
+  if (!result.ok()) {
+    fatal("OnlineTarget::load: invalid module '" + module.name() + "':\n" +
+          result.error_text());
+  }
 }
 
 SimResult OnlineTarget::run(std::string_view name,
@@ -232,7 +250,7 @@ size_t OnlineTarget::code_bytes() const {
 
 CodeCache::Artifact OnlineTarget::compile_artifact(uint32_t func_idx) const {
   if (config_.cache) {
-    const CodeCacheKey key{module_, func_idx, desc_.kind,
+    const CodeCacheKey key{module_->id(), func_idx, desc_.kind,
                            jit_.options().cache_key()};
     return config_.cache->get_or_compile(
         key, [this, func_idx] { return jit_.compile(*module_, func_idx); });
@@ -273,7 +291,7 @@ void OnlineTarget::request_tier2_locked(uint32_t func_idx) {
                             profile_hash]() -> CodeCache::Artifact {
     const JitCompiler tier2_jit(desc_, tier2);
     if (config_.cache) {
-      const CodeCacheKey key{module_,           func_idx, desc_.kind,
+      const CodeCacheKey key{module_->id(),     func_idx, desc_.kind,
                              tier2.cache_key(), 2,        profile_hash};
       return config_.cache->get_or_compile(key, [&] {
         return tier2_jit.compile(*module_, func_idx);

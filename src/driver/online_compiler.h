@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string_view>
@@ -28,6 +29,7 @@
 #include "bytecode/module.h"
 #include "jit/jit_compiler.h"
 #include "runtime/code_cache.h"
+#include "support/result.h"
 #include "support/thread_pool.h"
 #include "targets/simulator.h"
 #include "targets/target_registry.h"
@@ -85,16 +87,26 @@ class OnlineTarget {
   [[nodiscard]] double jit_seconds() const { return jit_seconds_; }
   [[nodiscard]] const std::vector<MFunction>& code() const { return code_; }
 
-  /// Verifies `module` (fatal with diagnostics on an invalid module --
-  /// fail fast, never JIT or interpret unverified code) and prepares it
-  /// for execution: eager mode JIT-compiles every function now, tiered
-  /// mode defers to run()/request_compile().
+  /// Verifies `module` and prepares it for execution: eager mode
+  /// JIT-compiles every function now, tiered mode defers to
+  /// run()/request_compile(). An invalid module is reported through the
+  /// Result (never executed, never fatal); the target keeps its previous
+  /// module in that case.
   ///
-  /// Lifetime invariant: only a pointer to `module` is retained, and any
-  /// shared CodeCache keys artifacts by its address. The module must
-  /// outlive this target *and* the cache, and must not be mutated after
-  /// loading.
-  void load(const Module& module);
+  /// Ownership: the target shares ownership of the module, so it stays
+  /// alive as long as any target, Soc, Deployment, or ModuleHandle
+  /// references it; the shared CodeCache keys artifacts by the module's
+  /// stable id. Callers that manage the lifetime themselves can pass
+  /// borrow_module(m) and keep the old outlives-the-target contract. The
+  /// module must not be mutated after loading.
+  [[nodiscard]] Result<void> load_module(std::shared_ptr<const Module> module);
+
+  /// Deprecated raw-reference spelling of load_module(): retains only a
+  /// borrowed pointer (caller keeps the module alive) and fatals on an
+  /// invalid module.
+  [[deprecated("use load_module(borrow_module(m)) or deploy through "
+               "svc::Engine (api/svc.h)")]] void
+  load(const Module& module);
 
   /// Runs a loaded function by name on `memory`. In tiered mode the call
   /// is served by the interpreter until the function and everything it
@@ -171,7 +183,7 @@ class OnlineTarget {
   const MachineDesc& desc_;
   JitCompiler jit_;
   Config config_;
-  const Module* module_ = nullptr;
+  std::shared_ptr<const Module> module_;
   std::vector<MFunction> code_;
   Statistics jit_stats_;
   double jit_seconds_ = 0.0;

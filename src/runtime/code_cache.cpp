@@ -1,9 +1,14 @@
 #include "runtime/code_cache.h"
 
+#include <cassert>
+
 namespace svc {
 
 CodeCache::Artifact CodeCache::get_or_compile(const CodeCacheKey& key,
                                               const CompileFn& compile) {
+  // Id 0 means a moved-from Module husk (or an unregistered module):
+  // caching under it would alias unrelated modules' artifacts.
+  assert(key.module_id != 0 && "CodeCacheKey with dead module id");
   std::promise<Artifact> promise;
   {
     std::unique_lock<std::mutex> lock(mutex_);

@@ -28,17 +28,20 @@
 
 namespace svc {
 
-/// Identity of one compiled artifact. `module` is the address of the
-/// deployed Module: modules are loaded once and must outlive every cache
-/// and target that references them (see OnlineTarget::load), so the
-/// address is a sound identity for the cache's lifetime.
+/// Identity of one compiled artifact. `module_id` is the deployed
+/// module's stable identity (Module::id()): a process-monotonic id
+/// assigned at construction and never reused, so -- unlike the address
+/// keying this replaced -- a module freed and another allocated at the
+/// same address can never alias a stale artifact. get_or_compile asserts
+/// in debug builds that the id is live (non-zero, i.e. not a moved-from
+/// husk).
 ///
 /// `tier` and `profile_hash` separate the fast first JIT (tier 1) from
 /// profile-guided re-specializations (tier 2): artifacts of different
 /// tiers -- or of the same tier shaped by different observed profiles --
 /// coexist as independent entries and evict independently.
 struct CodeCacheKey {
-  const void* module = nullptr;
+  uint64_t module_id = 0;  // Module::id() of the deployed module
   uint32_t func_idx = 0;
   TargetKind kind = TargetKind::X86Sim;
   std::string options_key;  // JitOptions::cache_key()
@@ -50,7 +53,7 @@ struct CodeCacheKey {
 
 struct CodeCacheKeyHash {
   size_t operator()(const CodeCacheKey& key) const {
-    size_t h = std::hash<const void*>{}(key.module);
+    size_t h = std::hash<uint64_t>{}(key.module_id);
     const auto mix = [&h](size_t v) {
       h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
     };

@@ -61,9 +61,21 @@ TuneResult tune(std::string_view source, TargetKind kind,
   TuneResult result;
   result.best.cycles = UINT64_MAX;
   for (const TuneConfig& config : space) {
-    const Module module = compile_or_die(source, config.to_offline_options());
+    // Candidate sources/specs are caller-vetted (the source compiled for
+    // the space to make sense); a failing candidate is an internal
+    // invariant break, not user input.
+    Result<Module> compiled =
+        compile_module(source, config.to_offline_options());
+    if (!compiled.ok()) {
+      fatal("tune: candidate '" + config.str() + "' failed to compile:\n" +
+            compiled.error_text());
+    }
+    const Module module = std::move(compiled).value();
     OnlineTarget target(kind);
-    target.load(module);
+    if (Result<void> r = target.load_module(borrow_module(module)); !r.ok()) {
+      fatal("tune: candidate '" + config.str() + "' failed to load:\n" +
+            r.error_text());
+    }
     TuneCandidate candidate;
     candidate.config = config;
     candidate.cycles = workload(target);

@@ -22,22 +22,38 @@ Soc::Soc(std::vector<CoreSpec> cores, size_t memory_bytes, SocOptions options)
   }
 }
 
-void Soc::load(const Module& module) {
-  module_ = &module;
-  // Each core's load verifies the module and fails fast on an invalid one;
-  // eager cores compile through the shared cache, so same-kind cores after
-  // the first are all hits.
-  for (auto& core : cores_) core->load(module);
+Result<void> Soc::load_module(std::shared_ptr<const Module> module) {
+  if (!module) {
+    return Result<void>::failure("Soc::load_module: null module");
+  }
+  // The first core's load verifies the module; an invalid one loads
+  // nowhere (no partially-loaded SoC). Eager cores compile through the
+  // shared cache, so same-kind cores after the first are all hits.
+  for (auto& core : cores_) {
+    if (Result<void> r = core->load_module(module); !r.ok()) return r;
+  }
+  module_ = std::move(module);
 
   if (options_.mode == LoadMode::Tiered && options_.prefetch) {
     // Annotation-driven warm-up: each function is background-compiled only
     // on its top-ranked core -- the mapper's HardwareHints scoring applied
     // to install time. Same-kind cores share the resulting artifact via
     // the cache when they promote later.
-    for (uint32_t f = 0; f < module.num_functions(); ++f) {
-      const size_t best = rank_cores(*this, module.function(f)).front().core;
+    for (uint32_t f = 0; f < module_->num_functions(); ++f) {
+      const size_t best = rank_cores(*this, module_->function(f)).front().core;
       cores_[best]->request_compile(f);
     }
+  }
+  return {};
+}
+
+void Soc::load(const Module& module) {
+  // Deprecated shim: borrowed lifetime, fatal on error (the pre-Result
+  // contract), implemented on the new path so the two cannot diverge.
+  const Result<void> result = load_module(borrow_module(module));
+  if (!result.ok()) {
+    fatal("Soc::load: invalid module '" + module.name() + "':\n" +
+          result.error_text());
   }
 }
 

@@ -55,23 +55,32 @@ class Soc {
   Soc(std::vector<CoreSpec> cores, size_t memory_bytes,
       SocOptions options = {});
 
-  /// Loads `module` on every core through the shared cache. The module is
-  /// verified (fatal on an invalid module); eager mode compiles every
-  /// function per *kind* now, tiered mode defers to run_on and -- with
-  /// options.prefetch -- enqueues one background compile per function on
-  /// its best core.
+  /// Loads `module` on every core through the shared cache. An invalid
+  /// module is reported through the Result (no core executes it); eager
+  /// mode compiles every function per *kind* now, tiered mode defers to
+  /// run_on and -- with options.prefetch -- enqueues one background
+  /// compile per function on its best core.
   ///
-  /// Lifetime invariant: only a pointer is retained and the shared cache
-  /// keys artifacts by the module's address; `module` must outlive this
-  /// Soc and must not be mutated after loading.
-  void load(const Module& module);
+  /// Ownership: the Soc and its cores share ownership of the module (the
+  /// shared cache keys artifacts by the module's stable id), so dropping
+  /// every external handle is safe while the Soc lives. Pass
+  /// borrow_module(m) to keep managing the lifetime yourself. The module
+  /// must not be mutated after loading.
+  [[nodiscard]] Result<void> load_module(std::shared_ptr<const Module> module);
+
+  /// Deprecated raw-reference spelling of load_module(): retains only a
+  /// borrowed pointer (caller keeps the module alive) and fatals on an
+  /// invalid module.
+  [[deprecated("use load_module(borrow_module(m)) or deploy through "
+               "svc::Engine (api/svc.h)")]] void
+  load(const Module& module);
 
   [[nodiscard]] size_t num_cores() const { return cores_.size(); }
   [[nodiscard]] const CoreSpec& core_spec(size_t c) const { return specs_[c]; }
   [[nodiscard]] OnlineTarget& core(size_t c) { return *cores_[c]; }
   [[nodiscard]] const OnlineTarget& core(size_t c) const { return *cores_[c]; }
   [[nodiscard]] Memory& memory() { return memory_; }
-  [[nodiscard]] const Module* module() const { return module_; }
+  [[nodiscard]] const Module* module() const { return module_.get(); }
   [[nodiscard]] const SocOptions& options() const { return options_; }
 
   /// The cache shared by every core's JIT.
@@ -118,7 +127,7 @@ class Soc {
   std::vector<CoreSpec> specs_;
   std::vector<std::unique_ptr<OnlineTarget>> cores_;
   Memory memory_;
-  const Module* module_ = nullptr;
+  std::shared_ptr<const Module> module_;
   uint64_t dma_setup_cycles_ = 200;
   uint64_t dma_bytes_per_cycle_ = 8;
 };

@@ -41,13 +41,22 @@ void DiagnosticEngine::note(SourceLoc loc, std::string message) {
   diags_.push_back({Severity::Note, loc, std::move(message)});
 }
 
-std::string DiagnosticEngine::dump() const {
+void DiagnosticEngine::report(Diagnostic diag) {
+  if (diag.severity == Severity::Error) ++error_count_;
+  diags_.push_back(std::move(diag));
+}
+
+std::string render_diagnostics(const std::vector<Diagnostic>& diags) {
   std::string out;
-  for (const auto& d : diags_) {
+  for (const auto& d : diags) {
     out += d.str();
     out += '\n';
   }
   return out;
+}
+
+std::string DiagnosticEngine::dump() const {
+  return render_diagnostics(diags_);
 }
 
 void DiagnosticEngine::clear() {

@@ -29,6 +29,11 @@ struct Diagnostic {
   [[nodiscard]] std::string str() const;
 };
 
+/// Diagnostics rendered one per line -- the single formatter behind
+/// DiagnosticEngine::dump() and Result<T>::error_text().
+[[nodiscard]] std::string render_diagnostics(
+    const std::vector<Diagnostic>& diags);
+
 /// Accumulates diagnostics for one compilation. Cheap to move around by
 /// reference; owned by the driver.
 class DiagnosticEngine {
@@ -36,6 +41,11 @@ class DiagnosticEngine {
   void error(SourceLoc loc, std::string message);
   void warning(SourceLoc loc, std::string message);
   void note(SourceLoc loc, std::string message);
+
+  /// Appends an already-built diagnostic (error counting included) --
+  /// how Result<T> failures (support/result.h) are replayed into an
+  /// engine by the deprecated out-param shims.
+  void report(Diagnostic diag);
 
   [[nodiscard]] bool has_errors() const { return error_count_ > 0; }
   [[nodiscard]] size_t error_count() const { return error_count_; }

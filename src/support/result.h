@@ -1,0 +1,143 @@
+// Result<T>: the error channel of the embeddable API (api/svc.h). A
+// Result either holds a value or a non-empty list of structured
+// Diagnostics -- it replaces the optional-plus-DiagnosticEngine-out-param
+// and the fatal-on-error conventions of the early drivers, so library
+// code never aborts on user input and an embedder gets machine-readable
+// diagnostics (severity, source location, message) from every entry
+// point.
+//
+// Reading a value out of a failed Result (or diagnostics out of a
+// successful one's error accessors) is an internal invariant break and
+// fatals; check ok() first. Tests and benches that only ever feed
+// known-good input use the one-line value_or_die() helpers in
+// tests/test_util.h / bench/bench_util.h.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/diagnostics.h"
+
+namespace svc {
+
+namespace detail {
+
+/// Failure payloads are normalized so error() never returns an empty
+/// list: a failure constructed without any diagnostic still explains
+/// itself.
+[[nodiscard]] inline std::vector<Diagnostic> normalize_failure(
+    std::vector<Diagnostic> diags) {
+  if (diags.empty()) {
+    diags.push_back({Severity::Error, {}, "unspecified error"});
+  }
+  return diags;
+}
+
+}  // namespace detail
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// Success. Implicit, so `return module;` reads naturally.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT
+
+  /// Failure carrying every diagnostic of the failed operation (errors
+  /// plus any accompanying warnings/notes, in emission order).
+  static Result failure(std::vector<Diagnostic> diags) {
+    return Result(detail::normalize_failure(std::move(diags)));
+  }
+
+  /// Single-message failure (location optional).
+  static Result failure(std::string message, SourceLoc loc = {}) {
+    std::vector<Diagnostic> diags;
+    diags.push_back({Severity::Error, loc, std::move(message)});
+    return Result(std::move(diags));
+  }
+
+  [[nodiscard]] bool ok() const { return value_.has_value(); }
+  [[nodiscard]] explicit operator bool() const { return ok(); }
+
+  /// The held value; aborts with the failure's diagnostics when called on
+  /// a failed Result (check ok() first when failure is a real
+  /// possibility).
+  [[nodiscard]] T& value() & {
+    require_value();
+    return *value_;
+  }
+  [[nodiscard]] const T& value() const& {
+    require_value();
+    return *value_;
+  }
+  [[nodiscard]] T&& value() && {
+    require_value();
+    return std::move(*value_);
+  }
+
+  [[nodiscard]] const T* operator->() const { return &value(); }
+  [[nodiscard]] T* operator->() { return &value(); }
+  [[nodiscard]] const T& operator*() const& { return value(); }
+  [[nodiscard]] T& operator*() & { return value(); }
+
+  /// The structured diagnostics behind a failure (never empty).
+  [[nodiscard]] const std::vector<Diagnostic>& error() const {
+    if (ok()) fatal("Result::error() on success");
+    return diags_;
+  }
+
+  /// Failure diagnostics rendered one per line (for messages and logs).
+  [[nodiscard]] std::string error_text() const {
+    return render_diagnostics(error());
+  }
+
+ private:
+  explicit Result(std::vector<Diagnostic> diags) : diags_(std::move(diags)) {}
+
+  void require_value() const {
+    if (!ok()) {
+      fatal("Result::value() on failure:\n" +
+            render_diagnostics(diags_));
+    }
+  }
+
+  std::optional<T> value_;
+  std::vector<Diagnostic> diags_;
+};
+
+/// Operations with no payload (loads, validations) report through
+/// Result<void>: same contract, no value accessors.
+template <>
+class [[nodiscard]] Result<void> {
+ public:
+  Result() = default;  // success
+
+  static Result failure(std::vector<Diagnostic> diags) {
+    return Result(detail::normalize_failure(std::move(diags)));
+  }
+  static Result failure(std::string message, SourceLoc loc = {}) {
+    std::vector<Diagnostic> diags;
+    diags.push_back({Severity::Error, loc, std::move(message)});
+    return Result(std::move(diags));
+  }
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] explicit operator bool() const { return ok_; }
+
+  [[nodiscard]] const std::vector<Diagnostic>& error() const {
+    if (ok_) fatal("Result::error() on success");
+    return diags_;
+  }
+  [[nodiscard]] std::string error_text() const {
+    return render_diagnostics(error());
+  }
+
+ private:
+  explicit Result(std::vector<Diagnostic> diags)
+      : diags_(std::move(diags)), ok_(false) {}
+
+  std::vector<Diagnostic> diags_;
+  bool ok_ = true;
+};
+
+}  // namespace svc

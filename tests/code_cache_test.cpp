@@ -62,7 +62,7 @@ TEST(JitOptions, CacheKeyCanonicalization) {
 
 CodeCacheKey key_for(const Module& m, uint32_t idx, TargetKind kind,
                      const JitOptions& options = {}) {
-  return CodeCacheKey{&m, idx, kind, options.cache_key()};
+  return CodeCacheKey{m.id(), idx, kind, options.cache_key()};
 }
 
 TEST(CodeCache, HitMissAndKeying) {
@@ -208,7 +208,7 @@ TEST(TieredTarget, BitIdenticalToEagerForEveryTargetKind) {
   for (const TargetKind kind : all_targets()) {
     // Eager reference output for this kind.
     OnlineTarget eager(kind);
-    eager.load(m);
+    load_or_die(eager, m);
     Memory eager_mem(1 << 20);
     setup(eager_mem);
     const SimResult eager_dot = eager.run("vdot_f32", dot_args, eager_mem);
@@ -218,7 +218,7 @@ TEST(TieredTarget, BitIdenticalToEagerForEveryTargetKind) {
     OnlineTarget::Config hot;
     hot.mode = LoadMode::Tiered;
     OnlineTarget tiered(kind, {}, hot);
-    tiered.load(m);
+    load_or_die(tiered, m);
     expect_matches_interpreter(tiered, m, "saxpy", saxpy_args, setup);
     expect_matches_interpreter(tiered, m, "vdot_f32", dot_args, setup);
 
@@ -227,7 +227,7 @@ TEST(TieredTarget, BitIdenticalToEagerForEveryTargetKind) {
     cold.mode = LoadMode::Tiered;
     cold.promote_threshold = 1000;
     OnlineTarget interp_only(kind, {}, cold);
-    interp_only.load(m);
+    load_or_die(interp_only, m);
     expect_matches_interpreter(interp_only, m, "saxpy", saxpy_args, setup);
     expect_matches_interpreter(interp_only, m, "vdot_f32", dot_args, setup);
     EXPECT_EQ(interp_only.jitted_calls(), 0u);
@@ -251,7 +251,7 @@ TEST(TieredTarget, PromotionThresholdCountsCalls) {
   config.mode = LoadMode::Tiered;
   config.promote_threshold = 3;
   OnlineTarget target(TargetKind::X86Sim, {}, config);
-  target.load(m);
+  load_or_die(target, m);
   Memory mem(1 << 16);
   const std::vector<Value> args = {Value::make_i32(5)};
 
@@ -290,7 +290,7 @@ TEST(TieredTarget, BackgroundPromotionViaPool) {
   config.cache = &cache;
   config.pool = &pool;
   OnlineTarget target(TargetKind::PpcSim, {}, config);
-  target.load(m);
+  load_or_die(target, m);
 
   Memory mem(1 << 16);
   for (uint32_t i = 0; i < 16; ++i) mem.write_i32(4 * i, 3);
@@ -313,7 +313,7 @@ TEST(TieredTarget, BackgroundPromotionViaPool) {
 // --- Shared-cache Soc ----------------------------------------------------
 
 TEST(SocCache, SameKindCoresCompileEachFunctionOnce) {
-  const Module m = compile_or_die(fir_source());  // fir4, gain, energy
+  const Module m = value_or_die(compile_module(fir_source()));  // fir4, gain, energy
   const int64_t fns = static_cast<int64_t>(m.num_functions());
   // Four cores, two kinds: compile count must be per kind, not per core.
   Soc soc({{TargetKind::X86Sim, false},
@@ -321,7 +321,7 @@ TEST(SocCache, SameKindCoresCompileEachFunctionOnce) {
            {TargetKind::PpcSim, false},
            {TargetKind::PpcSim, false}},
           1 << 20);
-  soc.load(m);
+  load_or_die(soc, m);
 
   const Statistics stats = soc.code_cache().stats();
   EXPECT_EQ(stats.get("cache.compiles"), 2 * fns);
@@ -346,14 +346,14 @@ TEST(SocCache, SameKindCoresCompileEachFunctionOnce) {
 }
 
 TEST(SocCache, PrefetchWarmsTopRankedCoreOnly) {
-  const Module m = compile_or_die(fir_source());
+  const Module m = value_or_die(compile_module(fir_source()));
   SocOptions options;
   options.mode = LoadMode::Tiered;
   options.prefetch = true;
   options.pool_threads = 2;
   Soc soc({{TargetKind::PpcSim, false}, {TargetKind::SpuSim, true}}, 1 << 20,
           options);
-  soc.load(m);
+  load_or_die(soc, m);
   soc.wait_warmup();
 
   // Prefetch compiled each function exactly once, on one core.
@@ -391,7 +391,7 @@ TEST(SocCache, ConcurrentWarmupAndRunIsRaceFree) {
            {TargetKind::SpuSim, true}},
           1 << 16, options);
   for (uint32_t i = 0; i < 16; ++i) soc.memory().write_i32(4 * i, 7);
-  soc.load(m);
+  load_or_die(soc, m);
 
   constexpr int kThreads = 8;
   constexpr int kCallsPerThread = 25;
@@ -432,7 +432,7 @@ TEST(SocCache, DestructionWithInFlightCompilesIsSafe) {
   // Tear a tiered Soc down immediately after prefetch enqueued background
   // jobs: ~OnlineTarget must drain them while the pool is still alive
   // (TSan/ASan would flag a use-after-free regression here).
-  const Module m = compile_or_die(fir_source());
+  const Module m = value_or_die(compile_module(fir_source()));
   for (int round = 0; round < 5; ++round) {
     SocOptions options;
     options.mode = LoadMode::Tiered;
@@ -440,7 +440,7 @@ TEST(SocCache, DestructionWithInFlightCompilesIsSafe) {
     options.pool_threads = 2;
     Soc soc({{TargetKind::X86Sim, false}, {TargetKind::PpcSim, false}},
             1 << 16, options);
-    soc.load(m);
+    load_or_die(soc, m);
     // No wait_warmup(): the Soc dies with compiles in flight.
   }
 }
@@ -460,18 +460,19 @@ TEST(SocCache, LoadFailsFastOnInvalidModule) {
   broken.add_block();  // empty entry block: no terminator -> invalid
   bad.add_function(std::move(broken));
 
-  EXPECT_DEATH(
-      {
-        OnlineTarget target(TargetKind::X86Sim);
-        target.load(bad);
-      },
-      "invalid module");
-  EXPECT_DEATH(
-      {
-        Soc soc({{TargetKind::X86Sim, false}}, 1 << 12);
-        soc.load(bad);
-      },
-      "invalid module");
+  // An invalid module is a Result failure (structured diagnostics), not a
+  // fatal -- and the target never adopts it.
+  OnlineTarget target(TargetKind::X86Sim);
+  const Result<void> target_load = target.load_module(borrow_module(bad));
+  EXPECT_FALSE(target_load.ok());
+  EXPECT_NE(target_load.error_text().find("while loading module"),
+            std::string::npos);
+  EXPECT_FALSE(target.jit_ready(0));
+
+  Soc soc({{TargetKind::X86Sim, false}}, 1 << 12);
+  const Result<void> soc_load = soc.load_module(borrow_module(bad));
+  EXPECT_FALSE(soc_load.ok());
+  EXPECT_EQ(soc.module(), nullptr);
 }
 
 }  // namespace

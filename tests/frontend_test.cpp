@@ -15,6 +15,8 @@
 namespace svc {
 namespace {
 
+using ::svc::testing::value_or_die;
+
 std::optional<Program> parse_ok(std::string_view src) {
   DiagnosticEngine diags;
   auto p = parse_program(src, diags);
@@ -148,15 +150,14 @@ TEST(Passes, StrengthReductionAndFolding) {
 TEST(Offline, CompilesAndVerifiesAllKernels) {
   for (const KernelInfo& k : table1_kernels()) {
     Statistics stats;
-    DiagnosticEngine diags;
-    auto module = compile_source(k.source, {}, diags, &stats);
-    ASSERT_TRUE(module.has_value()) << k.name << ": " << diags.dump();
+    auto module = compile_module(k.source, {}, &stats);
+    ASSERT_TRUE(module.ok()) << k.name << ": " << module.error_text();
     EXPECT_EQ(stats.get("offline.loops_vectorized"), 1) << k.name;
   }
 }
 
 TEST(Offline, VectorizedBytecodeUsesPortableBuiltins) {
-  const Module m = compile_or_die(table1_kernels()[0].source);  // vecadd
+  const Module m = value_or_die(compile_module(table1_kernels()[0].source));  // vecadd
   const std::string text = disassemble(m);
   EXPECT_NE(text.find("load.v128"), std::string::npos);
   EXPECT_NE(text.find("v.add.f32"), std::string::npos);
@@ -164,20 +165,20 @@ TEST(Offline, VectorizedBytecodeUsesPortableBuiltins) {
 }
 
 TEST(Offline, SumU8UsesWideningReduction) {
-  const Module m = compile_or_die(table1_kernels()[4].source);  // sum u8
+  const Module m = value_or_die(compile_module(table1_kernels()[4].source));  // sum u8
   const std::string text = disassemble(m);
   EXPECT_NE(text.find("v.rsum.u8"), std::string::npos);
 }
 
 TEST(Offline, MaxU8UsesVectorAccumulator) {
-  const Module m = compile_or_die(table1_kernels()[3].source);  // max u8
+  const Module m = value_or_die(compile_module(table1_kernels()[3].source));  // max u8
   const std::string text = disassemble(m);
   EXPECT_NE(text.find("v.max.u8"), std::string::npos);
   EXPECT_NE(text.find("v.rmax.u8"), std::string::npos);
 }
 
 TEST(Offline, AnnotationsAttached) {
-  const Module m = compile_or_die(table1_kernels()[1].source);
+  const Module m = value_or_die(compile_module(table1_kernels()[1].source));
   const auto& anns = m.function(0).annotations();
   EXPECT_NE(find_annotation(anns, AnnotationKind::VectorizedLoop), nullptr);
   EXPECT_NE(find_annotation(anns, AnnotationKind::SpillPriority), nullptr);
@@ -192,7 +193,7 @@ TEST(Offline, AnnotationsAttached) {
 TEST(Offline, VectorizeOffProducesScalarBytecode) {
   OfflineOptions opts;
   opts.vectorize = false;
-  const Module m = compile_or_die(table1_kernels()[0].source, opts);
+  const Module m = value_or_die(compile_module(table1_kernels()[0].source, opts));
   const std::string text = disassemble(m);
   EXPECT_EQ(text.find("v128"), std::string::npos);
 }
@@ -202,16 +203,15 @@ TEST(Offline, IfConversionRemovesBranchyDiamond) {
   opts.passes.if_convert = true;
   opts.vectorize = false;
   Statistics stats;
-  DiagnosticEngine diags;
-  auto m = compile_source(branchy_max_kernel().source, opts, diags, &stats);
-  ASSERT_TRUE(m.has_value()) << diags.dump();
+  auto m = compile_module(branchy_max_kernel().source, opts, &stats);
+  ASSERT_TRUE(m.ok()) << m.error_text();
   EXPECT_GE(stats.get("offline.if_converted"), 1);
   EXPECT_NE(disassemble(*m).find("select"), std::string::npos);
 }
 
 // End-to-end: compiled MiniC matches hand computation in the interpreter.
 TEST(Offline, SaxpyComputesCorrectly) {
-  const Module m = compile_or_die(table1_kernels()[1].source);
+  const Module m = value_or_die(compile_module(table1_kernels()[1].source));
   Memory mem(1 << 16);
   const uint32_t x = 256, y = 4096, n = 37;  // 37 = vector part + epilogue
   for (uint32_t k = 0; k < n; ++k) {
@@ -230,11 +230,11 @@ TEST(Offline, SaxpyComputesCorrectly) {
 }
 
 TEST(Offline, SumU8MatchesScalarSemantics) {
-  const Module vec = compile_or_die(table1_kernels()[4].source);
+  const Module vec = value_or_die(compile_module(table1_kernels()[4].source));
   OfflineOptions scalar_opts;
   scalar_opts.vectorize = false;
-  const Module scalar = compile_or_die(table1_kernels()[4].source,
-                                       scalar_opts);
+  const Module scalar = value_or_die(compile_module(table1_kernels()[4].source,
+                                       scalar_opts));
   Memory mem1(1 << 16), mem2(1 << 16);
   Rng rng(7);
   const uint32_t p = 512, n = 1000;
@@ -262,7 +262,7 @@ class KernelDiffTest : public ::testing::TestWithParam<KernelParam> {};
 TEST_P(KernelDiffTest, VectorizedKernelMatchesOnAllTargets) {
   const auto [kernel_idx, n] = GetParam();
   const KernelInfo& k = table1_kernels()[kernel_idx];
-  Module m = compile_or_die(k.source);
+  Module m = value_or_die(compile_module(k.source));
 
   const uint32_t A = 1024, B = 16384, C = 32768;
   auto setup = [&, n = n](Memory& mem) {

@@ -20,6 +20,7 @@ namespace svc {
 namespace {
 
 using ::svc::testing::expect_verifies;
+using ::svc::testing::value_or_die;
 
 // --- PipelineSpec ----------------------------------------------------------
 
@@ -183,7 +184,7 @@ TEST(JitPipeline, DefaultSpecsRoundtripForEveryTarget) {
 // --- unknown-name / bad-shape rejection --------------------------------------
 
 TEST(JitPipeline, CompileRejectsPipelineWithoutTranslation) {
-  const Module module = compile_or_die(table1_kernels()[0].source);
+  const Module module = value_or_die(compile_module(table1_kernels()[0].source));
   JitOptions opts;
   opts.pipeline = *PipelineSpec::parse("peephole,regalloc");
   JitCompiler jit(target_desc(TargetKind::X86Sim), opts);
@@ -193,12 +194,10 @@ TEST(JitPipeline, CompileRejectsPipelineWithoutTranslation) {
 TEST(IrPipeline, CompileRejectsUnknownPassName) {
   OfflineOptions opts;
   opts.pipeline = *PipelineSpec::parse("cleanup,licm,warp_drive");
-  DiagnosticEngine diags;
-  const auto module =
-      compile_source(table1_kernels()[0].source, opts, diags, nullptr);
-  EXPECT_FALSE(module.has_value());
-  EXPECT_TRUE(diags.has_errors());
-  EXPECT_NE(diags.dump().find("warp_drive"), std::string::npos);
+  const Result<Module> module =
+      compile_module(table1_kernels()[0].source, opts);
+  EXPECT_FALSE(module.ok());
+  EXPECT_NE(module.error_text().find("warp_drive"), std::string::npos);
 }
 
 // --- equivalence with the pre-refactor chains --------------------------------
@@ -252,8 +251,8 @@ TEST(IrPipeline, ExplicitSpecCompilesIdenticalModules) {
       OfflineOptions spec_opts;
       spec_opts.pipeline = default_ir_pipeline(knob_opts.passes, vectorize);
 
-      const Module via_knobs = compile_or_die(k.source, knob_opts);
-      const Module via_spec = compile_or_die(k.source, spec_opts);
+      const Module via_knobs = value_or_die(compile_module(k.source, knob_opts));
+      const Module via_spec = value_or_die(compile_module(k.source, spec_opts));
       expect_verifies(via_spec);
       EXPECT_EQ(serialize_module(via_spec), serialize_module(via_knobs))
           << k.name << " vectorize=" << vectorize;
@@ -264,7 +263,7 @@ TEST(IrPipeline, ExplicitSpecCompilesIdenticalModules) {
 // A JIT given its own default pipeline explicitly must emit exactly the
 // machine code of the implicit default, on every target.
 TEST(JitPipeline, ExplicitSpecProducesIdenticalMachineCode) {
-  const Module module = compile_or_die(table1_kernels()[1].source);
+  const Module module = value_or_die(compile_module(table1_kernels()[1].source));
   for (TargetKind kind : all_targets()) {
     const MachineDesc& desc = target_desc(kind);
 
@@ -285,17 +284,16 @@ TEST(JitPipeline, ExplicitSpecProducesIdenticalMachineCode) {
 
 TEST(IrPipeline, CompileReportsPerPassTimes) {
   Statistics stats;
-  DiagnosticEngine diags;
-  const auto module =
-      compile_source(table1_kernels()[0].source, {}, diags, &stats);
-  ASSERT_TRUE(module.has_value()) << diags.dump();
+  const Result<Module> module =
+      compile_module(table1_kernels()[0].source, {}, &stats);
+  ASSERT_TRUE(module.ok()) << module.error_text();
   EXPECT_TRUE(stats.has("offline.pass_us.cleanup"));
   EXPECT_TRUE(stats.has("offline.pass_us.vectorize"));
   EXPECT_TRUE(stats.has("offline.pass_us.licm"));
 }
 
 TEST(JitPipeline, JitReportsPerPassTimes) {
-  const Module module = compile_or_die(table1_kernels()[0].source);
+  const Module module = value_or_die(compile_module(table1_kernels()[0].source));
   for (TargetKind kind : all_targets()) {
     JitCompiler jit(target_desc(kind));
     const JitArtifact artifact = jit.compile(module, 0);

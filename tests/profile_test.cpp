@@ -366,7 +366,7 @@ TEST(Tier2, BitIdenticalAcrossAllTiersOnEveryTarget) {
     config.profile = true;
     config.tier2_threshold = 2;  // second JITed call re-specializes
     OnlineTarget target(kind, {}, config);
-    target.load(m);
+    load_or_die(target, m);
 
     for (const char* fn : {"saxpy", "vdot_f32"}) {
       const auto& args =
@@ -406,7 +406,7 @@ TEST(Tier2, ArtifactsCoexistInCacheAndAreShared) {
                                    Value::make_i32(4096), Value::make_i32(8)};
 
   OnlineTarget first(TargetKind::X86Sim, {}, config);
-  first.load(m);
+  load_or_die(first, m);
   Memory mem(1 << 20);
   setup(mem);
   ASSERT_TRUE(first.run("saxpy", args, mem).ok());  // tier-1 compile
@@ -420,7 +420,7 @@ TEST(Tier2, ArtifactsCoexistInCacheAndAreShared) {
   // A same-kind, same-config core reuses *both* tiers from the cache:
   // identical empty profile -> identical profile hash -> identical keys.
   OnlineTarget second(TargetKind::X86Sim, {}, config);
-  second.load(m);
+  load_or_die(second, m);
   ASSERT_TRUE(second.run("saxpy", args, mem).ok());
   ASSERT_TRUE(second.run("saxpy", args, mem).ok());
   EXPECT_EQ(second.tier2_functions(), 1u);
@@ -448,13 +448,13 @@ TEST(ProfileLoop, ExportReimportSeedsIterativeTuner) {
 
   // 1. Deploy tiered with profiling; stay at tier 0 so the interpreter
   //    observes the workload.
-  const Module deployed = compile_or_die(kernel.source);
+  const Module deployed = value_or_die(compile_module(kernel.source));
   OnlineTarget::Config config;
   config.mode = LoadMode::Tiered;
   config.promote_threshold = 1u << 30;
   config.profile = true;
   OnlineTarget device(TargetKind::X86Sim, {}, config);
-  device.load(deployed);
+  load_or_die(device, deployed);
   Memory mem(1 << 20);
   Rng rng(7);
   for (int i = 0; i < kN; ++i) {
@@ -487,14 +487,12 @@ TEST(ProfileLoop, ExportReimportSeedsIterativeTuner) {
   // was evaluated on the real simulator either way.
   EXPECT_LE(result.best.cycles, result.all.front().cycles);
 
-  // 4. compile_source re-ingests: the next offline cycle carries the
+  // 4. compile_module re-ingests: the next offline cycle carries the
   //    profile forward on the recompiled functions.
   OfflineOptions next_cycle;
   next_cycle.profile = &*imported.module;
-  DiagnosticEngine diags;
-  const auto recompiled =
-      compile_source(kernel.source, next_cycle, diags);
-  ASSERT_TRUE(recompiled.has_value()) << diags.dump();
+  const auto recompiled = compile_module(kernel.source, next_cycle);
+  ASSERT_TRUE(recompiled.ok()) << recompiled.error_text();
   EXPECT_TRUE(has_profile(*recompiled));
 }
 
@@ -544,7 +542,7 @@ TEST(ProfileLoop, SocMergesAndExportsAcrossCores) {
   options.profile = true;
   Soc soc({{TargetKind::X86Sim, false}, {TargetKind::PpcSim, false}}, 1 << 16,
           options);
-  soc.load(m);
+  load_or_die(soc, m);
   for (uint32_t i = 0; i < 16; ++i) soc.memory().write_i32(4 * i, 3);
   ASSERT_TRUE(soc.run_on(0, "pressure16", {Value::make_i32(0)}).ok());
   ASSERT_TRUE(soc.run_on(1, "pressure16", {Value::make_i32(0)}).ok());

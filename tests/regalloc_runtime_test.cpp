@@ -110,7 +110,7 @@ TEST(SplitAlloc, RanksLongLivedColdLocalsFirst) {
       "}";
   OfflineOptions opts;
   opts.vectorize = false;
-  const Module m = compile_or_die(src, opts);
+  const Module m = value_or_die(compile_module(src, opts));
   const auto* ann = find_annotation(m.function(0).annotations(),
                                     AnnotationKind::SpillPriority);
   ASSERT_NE(ann, nullptr);
@@ -126,9 +126,9 @@ TEST(SplitAlloc, RanksLongLivedColdLocalsFirst) {
 TEST(Mapper, VectorKernelPrefersSimdCoreControlStaysHost) {
   const std::string source =
       std::string(fir_source()) + std::string(control_kernel().source);
-  const Module module = compile_or_die(source);
+  const Module module = value_or_die(compile_module(source));
   Soc soc({{TargetKind::PpcSim, false}, {TargetKind::SpuSim, true}}, 1 << 20);
-  soc.load(module);
+  load_or_die(soc, module);
   const auto fir_idx = module.find_function("fir4");
   const auto ctl_idx = module.find_function("count_runs");
   ASSERT_TRUE(fir_idx && ctl_idx);
@@ -140,15 +140,15 @@ TEST(Mapper, MissingAnnotationsFallBackGracefully) {
   Module m;
   m.add_function(build_scalar_saxpy());  // no annotations at all
   Soc soc({{TargetKind::PpcSim, false}, {TargetKind::SpuSim, true}}, 1 << 16);
-  soc.load(m);
+  load_or_die(soc, m);
   // No crash, host preferred (accelerator pays the DMA bias).
   EXPECT_EQ(choose_core(soc, m.function(0)), 0u);
 }
 
 TEST(Dataflow, PipelineTimingModel) {
-  const Module module = compile_or_die(fir_source());
+  const Module module = value_or_die(compile_module(fir_source()));
   Soc soc({{TargetKind::PpcSim, false}, {TargetKind::SpuSim, true}}, 1 << 20);
-  soc.load(module);
+  load_or_die(soc, module);
   for (int i = 0; i < 300; ++i) {
     soc.memory().write_f32(256 + 4 * static_cast<uint32_t>(i), 0.5f);
   }
@@ -196,7 +196,7 @@ TEST(Iterative, FindsVectorizationOnSimdTarget) {
 TEST(Serializer, FuzzCorruptImagesNeverCrash) {
   Module m;
   for (const KernelInfo& k : table1_kernels()) {
-    Module km = compile_or_die(k.source);
+    Module km = value_or_die(compile_module(k.source));
     m.add_function(km.function(0));
   }
   std::vector<uint8_t> image = serialize_module(m);
@@ -272,10 +272,10 @@ TEST(Property, RandomStraightLineProgramsMatchAcrossTargets) {
 }
 
 TEST(Soc, SharedMemoryVisibleAcrossCores) {
-  const Module module = compile_or_die(fir_source());
+  const Module module = value_or_die(compile_module(fir_source()));
   Soc soc({{TargetKind::X86Sim, false}, {TargetKind::SparcSim, false}},
           1 << 16);
-  soc.load(module);
+  load_or_die(soc, module);
   for (int i = 0; i < 64; ++i) {
     soc.memory().write_f32(256 + 4 * static_cast<uint32_t>(i), 1.0f);
   }

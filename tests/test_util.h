@@ -11,12 +11,33 @@
 #include "bytecode/builder.h"
 #include "bytecode/verifier.h"
 #include "jit/jit_compiler.h"
+#include "support/result.h"
 #include "support/rng.h"
 #include "targets/simulator.h"
 #include "targets/target_registry.h"
 #include "vm/interpreter.h"
 
 namespace svc::testing {
+
+/// Unwraps a Result<T>, aborting with its diagnostics on failure: the
+/// one-line bridge between the Result-based API and tests feeding
+/// known-good input, e.g. `value_or_die(compile_module(src))`.
+template <typename T>
+[[nodiscard]] T value_or_die(Result<T> result) {
+  if (!result.ok()) fatal("value_or_die:\n" + result.error_text());
+  return std::move(result).value();
+}
+
+inline void value_or_die(Result<void> result) {
+  if (!result.ok()) fatal("value_or_die:\n" + result.error_text());
+}
+
+/// Loads `module` into an OnlineTarget / Soc with borrowed lifetime (the
+/// test keeps the module alive), aborting on error.
+template <typename Runtime>
+void load_or_die(Runtime& runtime, const Module& module) {
+  value_or_die(runtime.load_module(borrow_module(module)));
+}
 
 /// Scalar saxpy: y[i] = a * x[i] + y[i] over f32 arrays (i32 addresses).
 /// Params: a(f32), x(ptr), y(ptr), n(i32).

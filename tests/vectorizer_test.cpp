@@ -16,12 +16,13 @@
 namespace svc {
 namespace {
 
+using ::svc::testing::value_or_die;
+
 /// Compiles and reports how many loops were vectorized.
 int64_t vectorized_loops(std::string_view src) {
   Statistics stats;
-  DiagnosticEngine diags;
-  auto m = compile_source(src, {}, diags, &stats);
-  EXPECT_TRUE(m.has_value()) << diags.dump();
+  auto m = compile_module(src, {}, &stats);
+  EXPECT_TRUE(m.ok()) << m.error_text();
   return stats.get("offline.loops_vectorized");
 }
 
@@ -30,7 +31,7 @@ int64_t vectorized_loops(std::string_view src) {
 void check_correct(std::string_view src, std::string_view fn_name,
                    const std::vector<Value>& args,
                    const std::function<void(Memory&)>& setup) {
-  const Module m = compile_or_die(src);
+  const Module m = value_or_die(compile_module(src));
   svc::testing::run_differential(m, fn_name, args, setup);
 }
 
@@ -71,7 +72,7 @@ TEST(Vectorizer, F32SumUsesVectorAccumulator) {
     }
   )";
   EXPECT_EQ(vectorized_loops(src), 1);
-  const Module m = compile_or_die(src);
+  const Module m = value_or_die(compile_module(src));
   const std::string text = disassemble(m);
   EXPECT_NE(text.find("v.add.f32"), std::string::npos);
   EXPECT_NE(text.find("v.rsum.f32"), std::string::npos);
@@ -242,10 +243,10 @@ TEST(Vectorizer, EpilogueHandlesAllRemainders) {
   const std::string_view redk = table1_kernels()[4].source;  // sum u8
   OfflineOptions scalar_opts;
   scalar_opts.vectorize = false;
-  const Module mv = compile_or_die(mapk);
-  const Module ms = compile_or_die(mapk, scalar_opts);
-  const Module rv = compile_or_die(redk);
-  const Module rs = compile_or_die(redk, scalar_opts);
+  const Module mv = value_or_die(compile_module(mapk));
+  const Module ms = value_or_die(compile_module(mapk, scalar_opts));
+  const Module rv = value_or_die(compile_module(redk));
+  const Module rs = value_or_die(compile_module(redk, scalar_opts));
   for (int n = 0; n <= 40; ++n) {
     // dscal: compare memory.
     Memory m1(1 << 16), m2(1 << 16);
@@ -280,7 +281,7 @@ TEST(Vectorizer, EpilogueHandlesAllRemainders) {
 }
 
 TEST(Vectorizer, AnnotationMatchesTransform) {
-  const Module m = compile_or_die(table1_kernels()[0].source);
+  const Module m = value_or_die(compile_module(table1_kernels()[0].source));
   const auto* ann = find_annotation(m.function(0).annotations(),
                                     AnnotationKind::VectorizedLoop);
   ASSERT_NE(ann, nullptr);
@@ -292,7 +293,7 @@ TEST(Vectorizer, AnnotationMatchesTransform) {
 }
 
 TEST(Vectorizer, U16FactorIsEight) {
-  const Module m = compile_or_die(table1_kernels()[5].source);  // sum u16
+  const Module m = value_or_die(compile_module(table1_kernels()[5].source));  // sum u16
   const auto* ann = find_annotation(m.function(0).annotations(),
                                     AnnotationKind::VectorizedLoop);
   ASSERT_NE(ann, nullptr);
