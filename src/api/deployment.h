@@ -6,11 +6,22 @@
 //
 // The deployment shares ownership of its module, so it stays valid after
 // the Engine and every external ModuleHandle are gone. Move-only.
+//
+// Thread-safety: run, run_on, warm_up, wait_warmup and every counter
+// accessor (tier_counters, cache_stats, export_profile) are safe to call
+// concurrently from any number of threads. The one shared-state caveat
+// is the deployment's linear memory: all cores execute against it, so
+// concurrent runs must touch disjoint (or read-only) regions -- or go
+// through svc::Server (serve/server.h), which serializes per core and
+// routes each function to one core. Destruction blocks until in-flight
+// warm_up jobs have finished; moving a Deployment does not invalidate
+// anything (the Soc itself never moves).
 #pragma once
 
 #include <cstdint>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <string_view>
 #include <vector>
 
@@ -23,7 +34,11 @@ namespace svc {
 class Deployment {
  public:
   Deployment(Deployment&&) noexcept = default;
-  Deployment& operator=(Deployment&&) noexcept = default;
+  Deployment& operator=(Deployment&& other) noexcept;
+
+  /// Blocks until every warm_up() job still in flight has finished (so
+  /// background jobs never outlive the Soc they warm).
+  ~Deployment();
 
   /// Calls served per tier across all cores since load: tier 0
   /// (interpreter), tier 1 (fast JIT), tier 2 (profile-guided
@@ -51,15 +66,29 @@ class Deployment {
   /// Asynchronously compiles every function on every core (through the
   /// shared cache, so same-ISA cores coalesce). The returned future
   /// completes when the deployment is fully warm: every subsequent run is
-  /// served by JITed code. Ready immediately for eager deployments. The
-  /// future must not outlive this Deployment.
+  /// served by JITed code. Ready immediately for eager deployments.
+  ///
+  /// Concurrency contract: safe to call from any thread, concurrently
+  /// with run/run_on and with other warm_up calls. The deployment keeps
+  /// its own handle on every job it launches and its destructor waits
+  /// them out, so the returned future may be dropped -- or waited on
+  /// even after the Deployment is gone (by then it is already ready).
+  /// The future is satisfied by a deferred forwarder: get()/wait() work
+  /// as usual, but wait_for/wait_until report future_status::deferred
+  /// until first waited.
   [[nodiscard]] std::future<void> warm_up();
 
   /// Blocks until in-flight background compiles are done (cheap synonym
   /// for warm_up().wait() when no new compile requests are wanted).
   void wait_warmup();
 
+  /// Summed over all cores; safe concurrently with run (each core's
+  /// counters are snapshotted under its lock).
   [[nodiscard]] TierCounters tier_counters() const;
+
+  /// The same counters for one core shard -- per-core visibility for the
+  /// serving layer's stats. Fails on an out-of-range core.
+  [[nodiscard]] Result<TierCounters> tier_counters_on(size_t core) const;
 
   /// Shared code-cache counters: cache.hits, cache.misses,
   /// cache.compiles, cache.coalesced, cache.evictions, cache.bytes.
@@ -79,6 +108,12 @@ class Deployment {
   /// close the compile -> deploy -> profile -> recompile loop. Meaningful
   /// when the engine was built with profiling(); otherwise the annotations
   /// are empty.
+  ///
+  /// Concurrency contract: safe to call while traffic is running (and
+  /// while warm_up is in flight). Each core's profile is snapshotted
+  /// under that core's lock, then merged; calls that are mid-execution
+  /// when the snapshot is taken land in a later export. Every call
+  /// returns a freshly annotated copy of the module.
   [[nodiscard]] ModuleHandle export_profile() const;
 
   /// Escape hatch to the underlying runtime for callers that need
@@ -93,8 +128,20 @@ class Deployment {
   Deployment(std::unique_ptr<Soc> soc, ModuleHandle module)
       : soc_(std::move(soc)), module_(std::move(module)) {}
 
+  /// Handles on the warm_up jobs launched so far, so destruction (and
+  /// move-assignment over a live deployment) can wait them out instead
+  /// of leaving a background job with a dangling Soc*. Behind a
+  /// unique_ptr so the Deployment stays movable; null only in a
+  /// moved-from husk.
+  struct WarmupJobs {
+    std::mutex mu;
+    std::vector<std::shared_future<void>> jobs;
+  };
+  void wait_pending_warmups();
+
   std::unique_ptr<Soc> soc_;
   ModuleHandle module_;
+  std::unique_ptr<WarmupJobs> warmups_ = std::make_unique<WarmupJobs>();
 };
 
 }  // namespace svc

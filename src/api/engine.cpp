@@ -95,6 +95,11 @@ Engine::Builder& Engine::Builder::memory_bytes(size_t bytes) {
   return *this;
 }
 
+Engine::Builder& Engine::Builder::serving(const ServerOptions& options) {
+  options_.server = options;
+  return *this;
+}
+
 Engine::Builder& Engine::Builder::with_profile(ModuleHandle profiled) {
   profile_ = std::move(profiled);
   return *this;
@@ -164,6 +169,8 @@ Result<Engine> Engine::Builder::build() const {
     problem("memory_bytes() must be non-zero: deployments execute against "
             "this linear memory");
   }
+
+  validate_server_options(options.server, problems);
 
   if (!problems.empty()) return Result<Engine>::failure(std::move(problems));
   return Engine(std::move(options), profile_);

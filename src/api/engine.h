@@ -38,6 +38,7 @@
 #include "api/module_handle.h"
 #include "driver/offline_compiler.h"
 #include "runtime/soc.h"
+#include "serve/server_options.h"
 #include "support/result.h"
 
 namespace svc {
@@ -64,8 +65,21 @@ struct EngineOptions {
   // Linear memory per deployment; raised to the module's own memory hint
   // at deploy() when that is larger.
   size_t memory_bytes = size_t{1} << 20;
+  // Serving layer (svc::Server) knobs, consumed by serve() in
+  // serve/server.h: worker count, per-core queue depth (the
+  // admission-control watermark), and the per-drain batch bound.
+  ServerOptions server;
 };
 
+/// The embeddable facade: one immutable object holding the validated
+/// configuration behind compile/deploy/serve.
+///
+/// Thread-safety: an Engine is immutable after build(); every method is
+/// const and safe to call from any thread concurrently (compiles share
+/// no mutable state, deploys produce independent Deployments).
+/// Lifetime: an Engine may be destroyed while its ModuleHandles,
+/// Deployments, and Servers live on -- they share or own everything
+/// they need.
 class Engine {
  public:
   class Builder;
@@ -115,6 +129,10 @@ class Engine {
 /// validation happens in build(), which reports every problem it finds
 /// (unknown pass names, contradictory runtime knobs, ...) as one Result
 /// failure.
+///
+/// Thread-safety: a Builder is a plain mutable value -- confine it to
+/// one thread (or copy it); the Engines it builds are immutable and
+/// freely shared.
 class Engine::Builder {
  public:
   // --- offline schedule ---
@@ -151,6 +169,13 @@ class Engine::Builder {
   Builder& pool_threads(size_t threads);
   Builder& cache_budget(size_t bytes);
   Builder& memory_bytes(size_t bytes);
+
+  // --- serving layer ---
+  /// Knobs for svc::Server when the engine's deployments are served via
+  /// serve() (serve/server.h): workers (0 = one per core), per-core
+  /// queue_depth (admission-control watermark), batch_max (requests
+  /// coalesced per drain). Validated at build().
+  Builder& serving(const ServerOptions& options);
 
   // --- feedback loop ---
   /// Imports a profile-annotated module (Deployment::export_profile or a

@@ -15,6 +15,16 @@
 
 namespace svc {
 
+/// Owned, shared handle to an immutable module.
+///
+/// Thread-safety: the referenced Module is const and never mutated, so
+/// any number of threads may read through any number of handles; copying
+/// a handle is a shared_ptr copy (thread-safe refcount). One handle
+/// *object* is a plain value: don't mutate (assign/reset) the same
+/// handle from two threads.
+/// Lifetime: the module lives until the last owner -- handle, target,
+/// Soc, Deployment, or Server -- is gone; the CodeCache keys artifacts
+/// by the stable Module::id(), never by address.
 class ModuleHandle {
  public:
   /// Empty handle (boolean-false); produced only by default construction.

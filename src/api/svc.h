@@ -5,6 +5,9 @@
 //   - the facade: svc::Engine (+Builder), ModuleHandle, Deployment,
 //     Result<T> -- see api/engine.h for the 10-line
 //     compile -> deploy -> profile -> recompile loop
+//   - the serving layer: svc::Server + serve() (serve/server.h),
+//     concurrent request serving over a Deployment with per-core
+//     queueing, admission control and latency/throughput stats
 //   - the subsystems the facade is built from, re-exported for advanced
 //     embedders: the offline/online drivers, the Soc runtime and its
 //     shared CodeCache, the annotation-driven mapper, the iterative
@@ -21,6 +24,9 @@
 #include "api/engine.h"
 #include "api/module_handle.h"
 #include "support/result.h"
+
+// The serving layer (svc::Server, ServerOptions, ServerStats, serve()).
+#include "serve/server.h"
 
 // Re-exported subsystems (the facade's vocabulary types live here:
 // OfflineOptions, JitOptions, CoreSpec, SimResult, TuneConfig, ...).

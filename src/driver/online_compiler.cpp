@@ -140,6 +140,13 @@ SimResult OnlineTarget::run(std::string_view name,
   if (!module_) fatal("OnlineTarget::run before load");
   const auto idx = module_->find_function(name);
   if (!idx) fatal("OnlineTarget::run: unknown function");
+  return run(*idx, args, memory, step_budget);
+}
+
+SimResult OnlineTarget::run(uint32_t func_idx, const std::vector<Value>& args,
+                            Memory& memory, uint64_t step_budget) {
+  if (!module_) fatal("OnlineTarget::run before load");
+  assert(func_idx < module_->num_functions());
 
   if (config_.mode == LoadMode::Tiered) {
     bool use_jit = true;
@@ -147,10 +154,10 @@ SimResult OnlineTarget::run(std::string_view name,
     std::shared_ptr<const std::vector<MFunction>> image;
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      FuncState& st = states_[*idx];
+      FuncState& st = states_[func_idx];
       ++st.calls;
       if (!st.requested && st.calls >= config_.promote_threshold) {
-        request_compile_locked(*idx);
+        request_compile_locked(func_idx);
       }
       for (const uint32_t r : st.reachable) {
         poll_install_locked(r);
@@ -161,9 +168,9 @@ SimResult OnlineTarget::run(std::string_view name,
         ++st.jit_calls;
         if (config_.tier2_threshold > 0 && !st.tier2_requested &&
             st.jit_calls >= config_.tier2_threshold) {
-          request_tier2_locked(*idx);
+          request_tier2_locked(func_idx);
         }
-        poll_tier2_locked(*idx);
+        poll_tier2_locked(func_idx);
         if (st.tier2_installed) {
           tier = 2;
           ++tier2_calls_;
@@ -176,17 +183,17 @@ SimResult OnlineTarget::run(std::string_view name,
     // Execution happens outside the lock on the snapshot taken inside it:
     // tier-1 installs only fill slots this run cannot reach yet, and a
     // tier-2 install swaps in a *new* image rather than mutating ours.
-    if (!use_jit) return interpret(*idx, args, memory, step_budget);
+    if (!use_jit) return interpret(func_idx, args, memory, step_budget);
     Simulator sim(desc_, *image, memory);
     sim.set_step_budget(step_budget);
-    SimResult result = sim.run(*idx, args);
+    SimResult result = sim.run(func_idx, args);
     result.tier = tier;
     return result;
   }
 
   Simulator sim(desc_, code_, memory);
   sim.set_step_budget(step_budget);
-  return sim.run(*idx, args);
+  return sim.run(func_idx, args);
 }
 
 void OnlineTarget::request_compile(uint32_t func_idx) {

@@ -117,6 +117,14 @@ class OnlineTarget {
                               const std::vector<Value>& args, Memory& memory,
                               uint64_t step_budget = uint64_t{1} << 32);
 
+  /// Index-taking spelling of run() for callers that already resolved
+  /// (and bounds-checked) the function -- the serving layer's hot path,
+  /// which would otherwise pay a by-name lookup per request. `func_idx`
+  /// must be < the module's function count.
+  [[nodiscard]] SimResult run(uint32_t func_idx,
+                              const std::vector<Value>& args, Memory& memory,
+                              uint64_t step_budget = uint64_t{1} << 32);
+
   /// Requests the background (or, without a pool, immediate) compile of
   /// `func_idx` and every function it can reach, without running anything.
   /// Used by Soc warm-up prefetch; no-op in eager mode.

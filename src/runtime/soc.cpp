@@ -61,6 +61,12 @@ void Soc::wait_warmup() {
   if (pool_) pool_->wait_idle();
 }
 
+Soc::CoreCounters Soc::core_counters(size_t c) const {
+  const OnlineTarget& core = *cores_[c];
+  return {core.interpreted_calls(), core.jitted_calls(), core.tier2_calls(),
+          core.tier2_functions()};
+}
+
 ProfileData Soc::profile() const {
   ProfileData merged;
   for (const auto& core : cores_) merged.merge(core->profile());
@@ -75,6 +81,11 @@ Module Soc::export_profiled_module() const {
 SimResult Soc::run_on(size_t c, std::string_view name,
                       const std::vector<Value>& args) {
   return cores_[c]->run(name, args, memory_);
+}
+
+SimResult Soc::run_on(size_t c, uint32_t func_idx,
+                      const std::vector<Value>& args) {
+  return cores_[c]->run(func_idx, args, memory_);
 }
 
 }  // namespace svc

@@ -93,18 +93,48 @@ class Soc {
   /// Blocks until every in-flight background compile has finished.
   void wait_warmup();
 
+  /// Per-shard tier counters of one core: calls served by the
+  /// interpreter (tier 0), by JITed code (tier 1+), and by a tier-2
+  /// re-specialized artifact (a subset of `jitted`), plus the number of
+  /// functions with a tier-2 artifact installed on that core. Eager
+  /// cores do no tier bookkeeping and report zeros. Safe to call
+  /// concurrently with run_on (snapshots under the core's lock).
+  struct CoreCounters {
+    uint64_t interpreted = 0;
+    uint64_t jitted = 0;
+    uint64_t tier2 = 0;
+    size_t tier2_functions = 0;
+  };
+  [[nodiscard]] CoreCounters core_counters(size_t c) const;
+
   /// Runtime profile merged across every core (empty unless
   /// options.profile). One SoC-wide view: the cores execute the same
-  /// module, so per-function records simply accumulate.
+  /// module, so per-function records simply accumulate. Safe to call
+  /// concurrently with run_on: each core's contribution is snapshotted
+  /// under that core's lock, so the merge sees a consistent per-core
+  /// state (concurrent calls still being served land in a later
+  /// snapshot).
   [[nodiscard]] ProfileData profile() const;
 
   /// Copy of the loaded module carrying the merged profile as Profile
   /// annotations -- what a deployed SoC ships back to the offline tuner
-  /// (serialize it like any deployment image).
+  /// (serialize it like any deployment image). Same concurrency contract
+  /// as profile(); must not race with load_module.
   [[nodiscard]] Module export_profiled_module() const;
 
-  /// Runs `name` synchronously on core `c`.
+  /// Runs `name` synchronously on core `c`. Concurrent calls are safe --
+  /// each core serializes its own tiered bookkeeping under its lock --
+  /// but all cores execute against the one shared linear memory:
+  /// concurrent requests must touch disjoint (or read-only) regions, or
+  /// the caller must serialize them (the serving layer in serve/server.h
+  /// serializes per core and routes each function to one core).
   [[nodiscard]] SimResult run_on(size_t c, std::string_view name,
+                                 const std::vector<Value>& args);
+
+  /// Index-taking spelling for callers that already resolved the
+  /// function (the serving layer's per-request path); same concurrency
+  /// contract. `func_idx` must be < the module's function count.
+  [[nodiscard]] SimResult run_on(size_t c, uint32_t func_idx,
                                  const std::vector<Value>& args);
 
   /// DMA cost (cycles) for moving `bytes` to or from an accelerator.

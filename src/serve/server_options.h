@@ -1,0 +1,57 @@
+// ServerOptions: the serving-layer knobs of the embeddable API. Kept in
+// its own near-dependency-free header so both halves of the facade can
+// speak it: Engine::Builder records and validates it (api/engine.h,
+// Builder::serving) and svc::Server consumes and re-validates it
+// (serve/server.h) -- without api and serve including each other, and
+// with both validations sharing one rule set below.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "support/diagnostics.h"
+
+namespace svc {
+
+/// Configuration of a svc::Server. Validated by Server::create (and
+/// again, for every problem at once, by Engine::Builder::build when set
+/// through the Builder).
+struct ServerOptions {
+  /// Worker threads draining the per-core request queues. 0 = one worker
+  /// per deployment core; values above the core count are clamped to it
+  /// (each core is drained by exactly one worker, which is what keeps
+  /// per-core execution serialized -- see serve/server.h).
+  size_t workers = 0;
+
+  /// Capacity of each core's request queue -- the admission-control
+  /// watermark. A submit that finds its core's queue at this depth is
+  /// rejected with a Result error instead of growing the queue. Must be
+  /// at least 1.
+  size_t queue_depth = 64;
+
+  /// Most requests one worker pops from a core queue in one drain.
+  /// Requests for the same function inside a batch run back-to-back, so
+  /// tier promotion and tier-2 re-specialization trigger from aggregate
+  /// traffic, not per-caller call counts. Must be at least 1.
+  size_t batch_max = 8;
+};
+
+/// The single rule set behind both validation entry points
+/// (Engine::Builder::build and Server::create): appends one diagnostic
+/// per invalid field to `problems`.
+inline void validate_server_options(const ServerOptions& options,
+                                    std::vector<Diagnostic>& problems) {
+  const auto problem = [&problems](std::string message) {
+    problems.push_back({Severity::Error, {}, std::move(message)});
+  };
+  if (options.queue_depth == 0) {
+    problem("ServerOptions::queue_depth must be at least 1 (it is the "
+            "admission-control watermark of each core's request queue)");
+  }
+  if (options.batch_max == 0) {
+    problem("ServerOptions::batch_max must be at least 1 (a server worker "
+            "pops up to this many requests per drain)");
+  }
+}
+
+}  // namespace svc

@@ -1,0 +1,43 @@
+#include "support/latency_histogram.h"
+
+#include <algorithm>
+
+namespace svc {
+
+uint64_t LatencyHistogram::Snapshot::percentile(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the requested sample, 1-based; q = 0 asks for the minimum.
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(q * static_cast<double>(count) + 0.5));
+  uint64_t seen = 0;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    seen += buckets[b];
+    if (seen >= rank) {
+      // Bucket 0 holds the value 0; bucket b holds [2^(b-1), 2^b - 1].
+      if (b == 0) return min;  // only 0s land here, so min is 0
+      const uint64_t lo = uint64_t{1} << (b - 1);
+      // The last bucket absorbs everything with the top bits set.
+      const uint64_t hi =
+          (b == kBuckets - 1) ? max : (uint64_t{1} << b) - 1;
+      const uint64_t mid = lo + (hi - lo) / 2;
+      return std::clamp(mid, min, max);
+    }
+  }
+  return max;
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::snapshot() const {
+  Snapshot snap;
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  const uint64_t min = min_.load(std::memory_order_relaxed);
+  snap.min = (snap.count == 0 || min == UINT64_MAX) ? 0 : min;
+  snap.max = max_.load(std::memory_order_relaxed);
+  for (size_t b = 0; b < kBuckets; ++b) {
+    snap.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+}  // namespace svc

@@ -1,0 +1,93 @@
+// Concurrent latency histogram: power-of-two buckets (the same shape the
+// runtime profile uses for loop trip counts) over lock-free atomic
+// counters, so the serving layer's workers can record every completed
+// request without serializing on a stats mutex.
+//
+// record() files a sample under bucket bit_width(value): bucket 0 holds
+// the value 0, bucket b >= 1 holds [2^(b-1), 2^b - 1]. Percentiles are
+// therefore bucket-resolution approximations (reported as the geometric
+// midpoint of the winning bucket) -- exactly what a p50/p99 line in a
+// bench table needs, at a cost the hot path never notices.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace svc {
+
+/// Thread-safety: record() is safe from any thread (relaxed atomics, no
+/// locks). snapshot() is also safe at any time, but a snapshot taken
+/// while writers are active may tear across counters (count vs. sum);
+/// all counters are monotone, and a snapshot taken after the writers
+/// quiesce (e.g. Server::drain) is exact.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kBuckets = 64;
+
+  /// Immutable copy of the histogram state, with derived statistics.
+  struct Snapshot {
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    uint64_t min = 0;  // 0 when count == 0
+    uint64_t max = 0;
+    std::array<uint64_t, kBuckets> buckets{};
+
+    [[nodiscard]] double mean() const {
+      return count == 0 ? 0.0
+                        : static_cast<double>(sum) / static_cast<double>(count);
+    }
+
+    /// Value at quantile `q` in [0, 1], to bucket resolution: the
+    /// geometric midpoint of the bucket holding the q-th sample, clamped
+    /// to the observed [min, max]. 0 when empty.
+    [[nodiscard]] uint64_t percentile(double q) const;
+  };
+
+  /// Files one sample. Wait-free; safe from any thread.
+  void record(uint64_t value) {
+    buckets_[bucket_of(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    update_min(value);
+    update_max(value);
+  }
+
+  [[nodiscard]] uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] Snapshot snapshot() const;
+
+ private:
+  static size_t bucket_of(uint64_t value) {
+    // bit_width is 64 for values with the top bit set; clamp so the last
+    // bucket absorbs them instead of indexing past the array.
+    return std::min(static_cast<size_t>(std::bit_width(value)), kBuckets - 1);
+  }
+
+  void update_min(uint64_t value) {
+    uint64_t seen = min_.load(std::memory_order_relaxed);
+    while (value < seen &&
+           !min_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+    }
+  }
+
+  void update_max(uint64_t value) {
+    uint64_t seen = max_.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{UINT64_MAX};
+  std::atomic<uint64_t> max_{0};
+};
+
+}  // namespace svc

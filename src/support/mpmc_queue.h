@@ -1,0 +1,118 @@
+// Bounded multi-producer/multi-consumer queue: the request channel of the
+// serving layer (serve/server.h). One instance backs each core's request
+// queue; any number of client threads push, any number of worker threads
+// pop. Deliberately mutex-based -- request granularity is a whole
+// simulated kernel execution, so queue overhead is noise and the simple
+// implementation stays ThreadSanitizer-clean.
+//
+// The bound is the admission-control watermark: try_push never blocks and
+// never grows the queue past `capacity`, it reports "full" and lets the
+// caller turn that into a Result error instead of unbounded growth.
+// close() flips the queue into shutdown mode: pushes fail, draining pops
+// still succeed, so every accepted item can be completed before teardown.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace svc {
+
+/// Thread-safety: every member is safe from any thread. Items are moved
+/// in on (successful) push and moved out on pop; an item refused by a
+/// full or closed queue is handed back to the caller, untouched.
+template <typename T>
+class BoundedMpmcQueue {
+ public:
+  /// A zero capacity would refuse every push; callers validate, this
+  /// clamps defensively.
+  explicit BoundedMpmcQueue(size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Enqueues `item`, or -- when the queue is full or closed -- refuses
+  /// and returns the item to the caller (an engaged optional is the
+  /// rejection). Never blocks.
+  [[nodiscard]] std::optional<T> try_push(T&& item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) {
+        return std::optional<T>(std::move(item));
+      }
+      items_.push_back(std::move(item));
+      if (items_.size() > peak_depth_) peak_depth_ = items_.size();
+    }
+    ready_.notify_one();
+    return std::nullopt;
+  }
+
+  /// Blocks until an item is available (moved into `out`, returns true)
+  /// or the queue is closed and drained (returns false).
+  [[nodiscard]] bool pop(T& out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  /// Moves up to `max_items` queued items into `out` (appended) without
+  /// blocking; returns how many were taken. This is the batching pop: one
+  /// call hands a worker everything it will coalesce into one drain.
+  size_t try_pop_batch(std::vector<T>& out, size_t max_items) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    size_t taken = 0;
+    while (taken < max_items && !items_.empty()) {
+      out.push_back(std::move(items_.front()));
+      items_.pop_front();
+      ++taken;
+    }
+    return taken;
+  }
+
+  /// Shuts the intake: every later try_push fails, pending items remain
+  /// poppable, blocked pop() calls wake. Idempotent.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  [[nodiscard]] size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+  [[nodiscard]] size_t capacity() const { return capacity_; }
+
+  /// High-water mark of the queue depth since construction -- how close
+  /// traffic came to the admission-control bound.
+  [[nodiscard]] uint64_t peak_depth() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return peak_depth_;
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<T> items_;
+  uint64_t peak_depth_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace svc

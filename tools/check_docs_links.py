@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Intra-repo link checker for README.md and docs/*.md.
+
+Checks every markdown link whose target is inside the repository:
+
+  - relative file links must point at an existing file or directory,
+  - fragment links (``path#heading`` or ``#heading``) must match a
+    heading in the target file, using GitHub's anchor slug rules.
+
+External links (http/https/mailto) are ignored -- this is a hygiene
+gate for the docs/ tree, not a crawler. Runs from CI (docs job) and as
+the ``docs_link_check`` ctest target.
+
+Usage: check_docs_links.py [repo_root]
+Exit status: 0 when every link resolves, 1 otherwise.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# Inline markdown links: [text](target). Images share the syntax.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def anchor_slug(heading: str) -> str:
+    """GitHub-style anchor: lowercase, punctuation stripped, spaces to
+    dashes. Good enough for ASCII headings, which is all we use."""
+    text = heading.strip().lower()
+    text = re.sub(r"[`*_]", "", text)  # inline formatting
+    text = re.sub(r"[^\w\- ]", "", text)
+    return re.sub(r" +", "-", text.strip())
+
+
+def heading_anchors(path: Path) -> set:
+    anchors = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING_RE.match(line)
+        if match:
+            anchors.add(anchor_slug(match.group(1)))
+    return anchors
+
+
+def iter_links(path: Path):
+    """(line number, target) for every inline link outside code fences."""
+    in_fence = False
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            yield lineno, match.group(1)
+
+
+def anchor_exists(fragment: str, anchors: set) -> bool:
+    slug = anchor_slug(fragment)
+    if slug in anchors:
+        return True
+    # GitHub dedupes repeated headings as slug-1, slug-2, ...: accept a
+    # numeric suffix when the base heading exists.
+    base = re.match(r"^(.*)-\d+$", slug)
+    return bool(base) and base.group(1) in anchors
+
+
+def check_file(md: Path, root: Path) -> list:
+    errors = []
+    for lineno, target in iter_links(md):
+        if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, mailto:, ...
+            continue
+        path_part, _, fragment = target.partition("#")
+        if path_part:
+            if path_part.startswith("/"):
+                # Root-relative: GitHub resolves these against the repo
+                # root, not the filesystem root.
+                dest = (root / path_part.lstrip("/")).resolve()
+            else:
+                dest = (md.parent / path_part).resolve()
+            try:
+                dest.relative_to(root.resolve())
+            except ValueError:
+                errors.append(
+                    f"{md}:{lineno}: link escapes the repository: {target}"
+                )
+                continue
+            if not dest.exists():
+                errors.append(f"{md}:{lineno}: broken link: {target}")
+                continue
+        else:
+            dest = md
+        if fragment:
+            if dest.is_dir() or dest.suffix.lower() != ".md":
+                continue  # only markdown targets have checkable anchors
+            if not anchor_exists(fragment, heading_anchors(dest)):
+                errors.append(
+                    f"{md}:{lineno}: broken anchor: {target} "
+                    f"(no heading '#{fragment}' in {dest.name})"
+                )
+    return errors
+
+
+def main() -> int:
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(".")
+    files = [root / "README.md"] + sorted((root / "docs").glob("*.md"))
+    files = [f for f in files if f.exists()]
+    if not files:
+        print(f"check_docs_links: nothing to check under {root}", file=sys.stderr)
+        return 1
+    errors = []
+    checked = 0
+    for md in files:
+        errors.extend(check_file(md, root))
+        checked += 1
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(
+        f"check_docs_links: {checked} file(s), "
+        f"{'OK' if not errors else f'{len(errors)} broken link(s)'}"
+    )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
