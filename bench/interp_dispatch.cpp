@@ -1,0 +1,204 @@
+// Tier-0 dispatch-engine comparison: the reference switch interpreter vs
+// the pre-decoded computed-goto engine, with and without superinstruction
+// fusion, measured as steady-state interpreted steps per wall second.
+//
+// The workload is the Table 1 kernel suite run through OnlineTarget in
+// tiered mode with promotion disabled, so every call is served by tier 0
+// exactly as a cold deployment serves it (per-call Interpreter over the
+// target's persistent PredecodeCache). One row per simulated ISA: tier-0
+// execution is target-independent, so the rows double as a check that no
+// per-ISA state leaks into the interpreter -- the columns should agree
+// across rows to within noise.
+//
+// Before timing, the first rounds of every engine are checked bit-for-bit
+// (result value, dynamic step count, simulated cycles) against the switch
+// engine; any divergence aborts, which makes this bench the perf smoke
+// test registered in ctest. Results land in BENCH_interp.json
+// (bench_report in bench_util.h) so the tier-0 perf trajectory is
+// recorded across PRs.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace svc;
+using namespace svc::bench;
+
+constexpr int kElems = 1024;     // elements per kernel invocation
+constexpr int kVerifyRounds = 2; // bit-checked rounds before timing
+constexpr double kMinWindowSec = 0.15;  // per (ISA, engine) timing window
+
+struct EngineSpec {
+  const char* name;      // table / JSON label
+  DispatchKind dispatch;
+  bool fusion;
+};
+
+constexpr EngineSpec kEngines[] = {
+    {"switch", DispatchKind::Switch, false},
+    {"threaded", DispatchKind::Threaded, false},
+    {"threaded_fused", DispatchKind::Threaded, true},
+};
+
+struct IsaSpec {
+  const char* name;
+  TargetKind kind;
+};
+
+constexpr IsaSpec kIsas[] = {
+    {"x86sim", TargetKind::X86Sim},
+    {"ppcsim", TargetKind::PpcSim},
+    {"spusim", TargetKind::SpuSim},
+};
+
+Module build_suite() {
+  Module suite;
+  suite.set_name("interp_dispatch_suite");
+  for (const KernelInfo& k : table1_kernels()) {
+    Module m = value_or_die(compile_module(k.source));
+    suite.add_function(m.function(0));
+  }
+  return suite;
+}
+
+/// One observation of a kernel call, compared bit-for-bit across engines.
+struct RoundResult {
+  Value value;
+  uint64_t steps = 0;
+  uint64_t cycles = 0;
+
+  friend bool operator==(const RoundResult& a, const RoundResult& b) {
+    return a.value == b.value && a.steps == b.steps && a.cycles == b.cycles;
+  }
+};
+
+/// Tier-0-only target config: tiered mode with promotion disabled means
+/// run() never leaves the interpreter, exercising the production tier-0
+/// path (per-call Interpreter over the target's persistent
+/// PredecodeCache).
+OnlineTarget::Config tier0_config(const EngineSpec& engine) {
+  OnlineTarget::Config config;
+  config.mode = LoadMode::Tiered;
+  config.promote_threshold = UINT32_MAX;
+  config.tier0_dispatch = engine.dispatch;
+  config.tier0_fusion = engine.fusion;
+  return config;
+}
+
+/// Runs every kernel once; returns per-kernel observations and the total
+/// dynamic step count.
+uint64_t run_round(OnlineTarget& target, Memory& mem,
+                   std::span<const KernelInfo> kernels,
+                   std::vector<RoundResult>* out) {
+  uint64_t steps = 0;
+  for (const KernelInfo& k : kernels) {
+    const SimResult r = target.run(k.fn_name, kernel_args(k, kElems), mem);
+    if (!r.ok() || !r.interpreted) {
+      std::fprintf(stderr, "interp_dispatch: %s %s on %s\n",
+                   std::string(k.name).c_str(),
+                   r.ok() ? "left tier 0" : "trapped",
+                   target.desc().name.c_str());
+      std::abort();
+    }
+    steps += r.stats.instructions;
+    if (out) out->push_back({r.value, r.stats.instructions, r.stats.cycles});
+  }
+  return steps;
+}
+
+struct Measurement {
+  std::vector<RoundResult> verify;  // first kVerifyRounds observations
+  double steps_per_sec = 0.0;
+};
+
+Measurement measure(TargetKind kind, const EngineSpec& engine,
+                    const Module& suite,
+                    std::span<const KernelInfo> kernels) {
+  Measurement m;
+  OnlineTarget target(kind, {}, tier0_config(engine));
+  load_or_die(target, suite);
+  Memory mem(1 << 20);
+  setup_memory(mem, kElems);
+
+  // Warm-up doubles as the differential check: memory evolves
+  // deterministically round by round, so these observations must agree
+  // bit-for-bit across engines of the same ISA.
+  for (int r = 0; r < kVerifyRounds; ++r) {
+    run_round(target, mem, kernels, &m.verify);
+  }
+
+  // Steady state: the pre-decoded streams are cached, every call is pure
+  // dispatch. Time whole rounds until the window is filled.
+  using Clock = std::chrono::steady_clock;
+  uint64_t steps = 0;
+  const auto t0 = Clock::now();
+  auto t1 = t0;
+  do {
+    steps += run_round(target, mem, kernels, nullptr);
+    t1 = Clock::now();
+  } while (std::chrono::duration<double>(t1 - t0).count() < kMinWindowSec);
+  const double sec = std::chrono::duration<double>(t1 - t0).count();
+  m.steps_per_sec = sec > 0.0 ? static_cast<double>(steps) / sec : 0.0;
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  const Module suite = build_suite();
+  const std::span<const KernelInfo> kernels = table1_kernels();
+
+  std::printf("tier-0 dispatch engines, steady-state interpreted steps/sec\n"
+              "(%zu Table 1 kernels, n=%d, >=%.0f ms window per cell; "
+              "threaded engine %s in this build)\n",
+              kernels.size(), kElems, kMinWindowSec * 1000.0,
+              Interpreter::threaded_available() ? "available" : "COMPILED OUT");
+  std::printf("%-8s %14s %14s %16s %10s %10s\n", "isa", "switch", "threaded",
+              "threaded+fused", "thr/sw", "fused/sw");
+  print_rule(78);
+
+  std::vector<BenchMetric> metrics;
+  metrics.emplace_back("threaded_available",
+                       Interpreter::threaded_available() ? 1.0 : 0.0);
+  metrics.emplace_back("elems", kElems);
+  metrics.emplace_back("kernels", static_cast<double>(kernels.size()));
+
+  for (const IsaSpec& isa : kIsas) {
+    double sps[std::size(kEngines)] = {};
+    std::vector<RoundResult> oracle;
+    for (size_t e = 0; e < std::size(kEngines); ++e) {
+      const Measurement m = measure(isa.kind, kEngines[e], suite, kernels);
+      sps[e] = m.steps_per_sec;
+      if (e == 0) {
+        oracle = m.verify;
+      } else if (!(m.verify == oracle)) {
+        std::fprintf(stderr,
+                     "interp_dispatch: BIT DIVERGENCE between switch and %s "
+                     "on %s\n", kEngines[e].name, isa.name);
+        std::abort();
+      }
+      metrics.emplace_back(std::string(isa.name) + "." + kEngines[e].name +
+                               ".steps_per_sec", m.steps_per_sec);
+    }
+    const double thr = sps[0] > 0.0 ? sps[1] / sps[0] : 0.0;
+    const double fused = sps[0] > 0.0 ? sps[2] / sps[0] : 0.0;
+    metrics.emplace_back(std::string(isa.name) + ".speedup.threaded", thr);
+    metrics.emplace_back(std::string(isa.name) + ".speedup.threaded_fused",
+                         fused);
+    std::printf("%-8s %14.3e %14.3e %16.3e %9.2fx %9.2fx\n", isa.name, sps[0],
+                sps[1], sps[2], thr, fused);
+  }
+  print_rule(78);
+  std::printf("every engine verified bit-identical to the switch oracle "
+              "(%d rounds x %zu kernels per ISA)\n",
+              kVerifyRounds, kernels.size());
+
+  bench_report("interp", metrics);
+  return 0;
+}

@@ -266,5 +266,24 @@ int main() {
               static_cast<unsigned long long>(reports[0].rejected),
               static_cast<unsigned long long>(reports[1].rejected),
               static_cast<unsigned long long>(reports[2].rejected));
+
+  // Machine-readable trajectory (docs/BENCHMARKS.md). Wall-clock numbers
+  // are host-dependent; mean_cycles is the deterministic column.
+  std::vector<BenchMetric> metrics;
+  metrics.emplace_back("clients", kClients);
+  metrics.emplace_back("steady_rounds", kSteadyRounds);
+  for (const ConfigReport& r : reports) {
+    metrics.emplace_back(r.name + ".requests_per_sec", r.requests_per_sec);
+    metrics.emplace_back(r.name + ".p50_us",
+                         static_cast<double>(r.p50_ns) / 1000.0);
+    metrics.emplace_back(r.name + ".p99_us",
+                         static_cast<double>(r.p99_ns) / 1000.0);
+    metrics.emplace_back(r.name + ".cycles_per_request", r.mean_cycles);
+    metrics.emplace_back(r.name + ".tier0", static_cast<double>(r.tier0));
+    metrics.emplace_back(r.name + ".tier1", static_cast<double>(r.tier1));
+    metrics.emplace_back(r.name + ".tier2", static_cast<double>(r.tier2));
+    metrics.emplace_back(r.name + ".batches", static_cast<double>(r.batches));
+  }
+  bench_report("serve", metrics);
   return 0;
 }

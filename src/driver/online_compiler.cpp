@@ -369,6 +369,12 @@ SimResult OnlineTarget::interpret(uint32_t func_idx,
                                   Memory& memory, uint64_t step_budget) {
   Interpreter interp(*module_, memory);
   interp.set_step_budget(step_budget);
+  interp.set_dispatch(config_.tier0_dispatch);
+  interp.set_fusion(config_.tier0_fusion);
+  // Tier-0 pre-decoded streams persist across the per-call Interpreter:
+  // lowering happens once per (module, function), not once per request.
+  interp.set_predecode_cache(config_.predecode ? config_.predecode
+                                               : &predecode_);
   // Concurrent tier-0 calls collect into a per-call local and merge under
   // the lock afterwards; the collector itself is not thread-safe.
   ProfileData local;

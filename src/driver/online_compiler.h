@@ -33,6 +33,8 @@
 #include "support/thread_pool.h"
 #include "targets/simulator.h"
 #include "targets/target_registry.h"
+#include "vm/interpreter.h"
+#include "vm/predecode.h"
 #include "vm/profile.h"
 
 namespace svc {
@@ -65,6 +67,18 @@ struct OnlineTargetConfig {
   uint32_t tier2_threshold = 0;
   CodeCache* cache = nullptr;
   ThreadPool* pool = nullptr;
+  // Pre-decoded tier-0 stream cache shared across targets (pre-decoding
+  // is target-independent, so a Soc shares one across all its cores the
+  // way it shares the CodeCache). Without one the target keeps a private
+  // cache, so streams are still lowered once per deployment rather than
+  // once per call.
+  PredecodeCache* predecode = nullptr;
+  // Tier-0 engine selection, forwarded to every interpreter this target
+  // creates. The defaults are the production engine; benches and
+  // differential tests flip these to compare engines (results are
+  // bit-identical either way -- see vm/interpreter.h).
+  DispatchKind tier0_dispatch = DispatchKind::Threaded;
+  bool tier0_fusion = true;
 };
 
 class OnlineTarget {
@@ -207,6 +221,8 @@ class OnlineTarget {
   // entries, so they copy-on-write: a fresh vector is swapped in and runs
   // in flight keep executing the image they started with.
   std::shared_ptr<std::vector<MFunction>> image_;
+  // Fallback tier-0 stream cache when config_.predecode is not set.
+  PredecodeCache predecode_;
   ProfileData profile_;
   uint64_t interpreted_calls_ = 0;
   uint64_t jitted_calls_ = 0;

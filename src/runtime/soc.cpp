@@ -14,7 +14,8 @@ Soc::Soc(std::vector<CoreSpec> cores, size_t memory_bytes, SocOptions options)
   }
   const OnlineTarget::Config core_config{
       options_.mode,    options_.promote_threshold, options_.profile,
-      options_.tier2_threshold, &cache_,            pool_.get()};
+      options_.tier2_threshold, &cache_,            pool_.get(),
+      &predecode_};
   cores_.reserve(specs_.size());
   for (const CoreSpec& spec : specs_) {
     cores_.push_back(

@@ -90,6 +90,11 @@ class Soc {
   /// Background compile pool, or nullptr when options.pool_threads == 0.
   [[nodiscard]] ThreadPool* pool() { return pool_.get(); }
 
+  /// The tier-0 pre-decoded-stream cache shared by every core's
+  /// interpreter (pre-decoding is target-independent, so one lowering
+  /// serves all ISAs).
+  [[nodiscard]] PredecodeCache& predecode_cache() { return predecode_; }
+
   /// Blocks until every in-flight background compile has finished.
   void wait_warmup();
 
@@ -153,6 +158,9 @@ class Soc {
   // is destroyed first -- each ~OnlineTarget drains its in-flight compile
   // jobs while the pool workers and the cache are still alive.
   CodeCache cache_;
+  // Shared across cores like cache_ (declared before cores_ for the same
+  // destruction-order reason).
+  PredecodeCache predecode_;
   std::unique_ptr<ThreadPool> pool_;
   std::vector<CoreSpec> specs_;
   std::vector<std::unique_ptr<OnlineTarget>> cores_;

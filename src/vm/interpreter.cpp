@@ -451,12 +451,12 @@ FrameExecutor::StepOutcome FrameExecutor::step(const Instruction& inst) {
     }
     case Opcode::MinF32: {
       const auto b = pop().f32, a = pop().f32;
-      push_f32(std::fmin(a, b));
+      push_f32(detail::fmin32(a, b));
       return O::next();
     }
     case Opcode::MaxF32: {
       const auto b = pop().f32, a = pop().f32;
-      push_f32(std::fmax(a, b));
+      push_f32(detail::fmax32(a, b));
       return O::next();
     }
     case Opcode::NegF32:
@@ -522,12 +522,12 @@ FrameExecutor::StepOutcome FrameExecutor::step(const Instruction& inst) {
     }
     case Opcode::MinF64: {
       const auto b = pop().f64, a = pop().f64;
-      push(Value::make_f64(std::fmin(a, b)));
+      push(Value::make_f64(detail::fmin64(a, b)));
       return O::next();
     }
     case Opcode::MaxF64: {
       const auto b = pop().f64, a = pop().f64;
-      push(Value::make_f64(std::fmax(a, b)));
+      push(Value::make_f64(detail::fmax64(a, b)));
       return O::next();
     }
     case Opcode::NegF64:
@@ -808,8 +808,8 @@ FrameExecutor::StepOutcome FrameExecutor::step(const Instruction& inst) {
           case Opcode::VSubF32: o = x - y; break;
           case Opcode::VMulF32: o = x * y; break;
           case Opcode::VDivF32: o = x / y; break;
-          case Opcode::VMinF32: o = std::fmin(x, y); break;
-          case Opcode::VMaxF32: o = std::fmax(x, y); break;
+          case Opcode::VMinF32: o = detail::fmin32(x, y); break;
+          case Opcode::VMaxF32: o = detail::fmax32(x, y); break;
           default: break;
         }
         r.set_f32(i, o);
@@ -897,14 +897,14 @@ FrameExecutor::StepOutcome FrameExecutor::step(const Instruction& inst) {
     case Opcode::VRMaxF32: {
       const V128 a = pop().v128;
       float m = a.f32(0);
-      for (size_t i = 1; i < 4; ++i) m = std::fmax(m, a.f32(i));
+      for (size_t i = 1; i < 4; ++i) m = detail::fmax32(m, a.f32(i));
       push_f32(m);
       return O::next();
     }
     case Opcode::VRMinF32: {
       const V128 a = pop().v128;
       float m = a.f32(0);
-      for (size_t i = 1; i < 4; ++i) m = std::fmin(m, a.f32(i));
+      for (size_t i = 1; i < 4; ++i) m = detail::fmin32(m, a.f32(i));
       push_f32(m);
       return O::next();
     }
@@ -989,8 +989,8 @@ FrameExecutor::StepOutcome FrameExecutor::step(const Instruction& inst) {
   fatal("interpreter: unhandled opcode");
 }
 
-ExecResult Interpreter::run(uint32_t func_idx,
-                            const std::vector<Value>& args) {
+ExecResult Interpreter::run_switch(uint32_t func_idx,
+                                   const std::vector<Value>& args) {
   steps_used_ = 0;
   call_depth_ = 0;
   FrameExecutor exec(*this, module_.function(func_idx), func_idx);
@@ -1000,6 +1000,14 @@ ExecResult Interpreter::run(uint32_t func_idx,
   out.trap = res.trap;
   if (res.trap == TrapKind::None) out.value = res.ret;
   return out;
+}
+
+ExecResult Interpreter::run(uint32_t func_idx,
+                            const std::vector<Value>& args) {
+  if (dispatch_ == DispatchKind::Threaded) {
+    return run_threaded(func_idx, args);
+  }
+  return run_switch(func_idx, args);
 }
 
 ExecResult Interpreter::run(std::string_view name,

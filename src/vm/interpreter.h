@@ -1,8 +1,20 @@
-// Reference interpreter for SVIL. Defines the semantics of the virtual
-// ISA; every JIT target is differential-tested against it. Deliberately
-// simple and defensive: all memory accesses are bounds-checked, division
-// by zero and call-stack overflow trap, and a step budget guards against
-// runaway loops in tests.
+// Tier-0 execution for SVIL, with two dispatch engines over the same
+// semantics:
+//
+//   * Switch: the reference interpreter -- a single switch over Opcode
+//     walking the original Function/BasicBlock structures. Deliberately
+//     simple and defensive; every JIT target and the threaded engine are
+//     differential-tested against it, and it is the portable fallback
+//     when SVC_THREADED_DISPATCH is configured OFF.
+//   * Threaded: the production tier-0 engine -- a computed-goto dispatch
+//     loop (GCC/Clang &&label tables) over pre-decoded code streams
+//     (vm/predecode.h) with superinstruction fusion. Typically several
+//     times faster; bit-identical results, traps, step counts and
+//     profiles by construction (tests/dispatch_test.cpp).
+//
+// Both engines bounds-check all memory accesses, trap on division by
+// zero and call-stack overflow, and honor a step budget that guards
+// against runaway loops in tests. See docs/INTERPRETER.md.
 #pragma once
 
 #include <cstdint>
@@ -12,6 +24,7 @@
 
 #include "bytecode/module.h"
 #include "vm/memory.h"
+#include "vm/predecode.h"
 #include "vm/profile.h"
 #include "vm/value.h"
 
@@ -33,7 +46,15 @@ struct ExecResult {
   uint64_t steps = 0;  // dynamic instruction count
 
   [[nodiscard]] bool ok() const { return trap == TrapKind::None; }
-  [[nodiscard]] std::string trap_message() const;
+  // Cold by contract: formatting is for error reports, never the
+  // execution path.
+  [[nodiscard, gnu::cold]] std::string trap_message() const;
+};
+
+/// Which tier-0 dispatch engine serves run().
+enum class DispatchKind : uint8_t {
+  Switch,    // portable reference switch (the differential oracle)
+  Threaded,  // pre-decoded computed-goto loop with fusion
 };
 
 class Interpreter {
@@ -51,6 +72,30 @@ class Interpreter {
   /// recorded event -- profiling off is effectively free.
   void set_profile(ProfileData* profile) { profile_ = profile; }
 
+  /// True when this build carries the computed-goto engine (CMake option
+  /// SVC_THREADED_DISPATCH, GCC/Clang only). When false, Threaded
+  /// requests silently run on the Switch engine.
+  [[nodiscard]] static bool threaded_available();
+
+  /// Selects the dispatch engine (default: Threaded when available).
+  /// Results, traps, step counts and collected profiles are identical
+  /// across engines; only speed differs.
+  void set_dispatch(DispatchKind kind) { dispatch_ = kind; }
+  [[nodiscard]] DispatchKind dispatch() const { return dispatch_; }
+
+  /// Enables/disables superinstruction fusion in the threaded engine
+  /// (default on; no effect on the Switch engine). The profiling
+  /// instantiation always runs unfused streams -- profiles are recorded
+  /// per original opcode.
+  void set_fusion(bool on) { fusion_ = on; }
+
+  /// Shares a pre-decoded-stream cache (typically one per OnlineTarget
+  /// or Soc, so streams are lowered once per deployment, not per
+  /// Interpreter). Not owned; must outlive every run(). Without one the
+  /// interpreter lowers into a private cache, amortized across its own
+  /// run() calls only.
+  void set_predecode_cache(PredecodeCache* cache) { pcache_ = cache; }
+
   /// Runs function `func_idx` with `args` (must match the signature).
   [[nodiscard]] ExecResult run(uint32_t func_idx,
                                const std::vector<Value>& args);
@@ -60,6 +105,15 @@ class Interpreter {
 
  private:
   friend class FrameExecutor;
+  friend struct ThreadedEngine;
+
+  [[nodiscard]] ExecResult run_switch(uint32_t func_idx,
+                                      const std::vector<Value>& args);
+  // Defined in vm/dispatch_threaded.cpp; falls back to run_switch when
+  // the computed-goto engine is compiled out.
+  [[nodiscard]] ExecResult run_threaded(uint32_t func_idx,
+                                        const std::vector<Value>& args);
+
   const Module& module_;
   Memory& memory_;
   uint64_t step_budget_ = uint64_t{1} << 30;
@@ -67,6 +121,10 @@ class Interpreter {
   uint32_t max_call_depth_ = 256;
   uint32_t call_depth_ = 0;
   ProfileData* profile_ = nullptr;
+  DispatchKind dispatch_ = DispatchKind::Threaded;
+  bool fusion_ = true;
+  PredecodeCache* pcache_ = nullptr;
+  PredecodeCache own_cache_;
 };
 
 }  // namespace svc

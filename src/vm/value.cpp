@@ -1,8 +1,18 @@
 #include "vm/value.h"
 
+#include <cmath>
 #include <sstream>
 
 namespace svc {
+
+namespace detail {
+
+float fmin32(float a, float b) { return std::fmin(a, b); }
+float fmax32(float a, float b) { return std::fmax(a, b); }
+double fmin64(double a, double b) { return std::fmin(a, b); }
+double fmax64(double a, double b) { return std::fmax(a, b); }
+
+}  // namespace detail
 
 Value Value::zero_of(Type t) {
   Value v;
@@ -34,20 +44,22 @@ std::string Value::str() const {
 }
 
 bool operator==(const Value& a, const Value& b) {
+  // Bit equality on purpose: differential tests must distinguish NaN
+  // payloads and signed zeros identically across interpreter and JIT.
+  // Scalars compare as one masked 8-byte word (a width mask rather than a
+  // per-type switch: this runs per element in differential test loops);
+  // memcpy keeps the union read well-defined under UBSan.
   if (a.type != b.type) return false;
-  switch (a.type) {
-    case Type::Void: return true;
-    case Type::I32: return a.i32 == b.i32;
-    case Type::I64: return a.i64 == b.i64;
-    // Bit equality on purpose: differential tests must distinguish NaN
-    // payloads and signed zeros identically across interpreter and JIT.
-    case Type::F32:
-      return std::bit_cast<uint32_t>(a.f32) == std::bit_cast<uint32_t>(b.f32);
-    case Type::F64:
-      return std::bit_cast<uint64_t>(a.f64) == std::bit_cast<uint64_t>(b.f64);
-    case Type::V128: return a.v128 == b.v128;
-  }
-  return false;
+  if (a.type == Type::V128) return a.v128 == b.v128;
+  uint64_t pa;
+  uint64_t pb;
+  std::memcpy(&pa, &a.i64, sizeof pa);
+  std::memcpy(&pb, &b.i64, sizeof pb);
+  const bool wide = a.type == Type::I64 || a.type == Type::F64;
+  const uint64_t mask = a.type == Type::Void ? 0
+                        : wide               ? ~uint64_t{0}
+                                             : uint64_t{0xffffffff};
+  return (pa & mask) == (pb & mask);
 }
 
 }  // namespace svc

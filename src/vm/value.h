@@ -111,9 +111,25 @@ struct Value {
   /// Zero value of a given type (used for local initialization).
   static Value zero_of(Type t);
 
-  [[nodiscard]] std::string str() const;
+  // Cold by contract: str() exists for error reports and test logs,
+  // never for the execution path.
+  [[nodiscard, gnu::cold]] std::string str() const;
 
   friend bool operator==(const Value& a, const Value& b);
 };
+
+namespace detail {
+
+// Float min/max shared by every tier-0 engine. std::fmin/fmax leave the
+// sign of a (+0, -0) result implementation-defined, so two engines
+// compiled in different translation units can legally disagree bit-wise;
+// routing both through these single out-of-line symbols pins the choice
+// once for the whole process (noinline so no TU re-specializes them).
+[[nodiscard, gnu::noinline]] float fmin32(float a, float b);
+[[nodiscard, gnu::noinline]] float fmax32(float a, float b);
+[[nodiscard, gnu::noinline]] double fmin64(double a, double b);
+[[nodiscard, gnu::noinline]] double fmax64(double a, double b);
+
+}  // namespace detail
 
 }  // namespace svc
