@@ -82,6 +82,12 @@ struct ConfigReport {
   uint64_t rejected = 0;
   int64_t compiles = 0;
   uint64_t batches = 0;
+  // Cold start: wall time from Server creation until the first response
+  // served by JITed code (tier >= 1), and how many requests that took --
+  // the restart-under-traffic number (near-zero requests_to_tier1 for
+  // eager, promote-threshold-shaped for tiered).
+  double cold_start_ms = 0.0;
+  uint64_t requests_to_tier1 = 0;
 };
 
 /// One client: closed-loop rounds over every kernel; verifies each
@@ -143,8 +149,27 @@ ConfigReport run_config(const std::string& name, const Engine& engine,
   ConfigReport report;
   report.name = name;
 
+  const auto t_create = std::chrono::steady_clock::now();
   Server server = value_or_die(serve(engine, suite, soc_cores()));
   fill_data(server.deployment().memory());
+
+  // Cold start: single closed-loop probe client until the first response
+  // comes back from JITed code. Wall time includes Server creation
+  // (install-time JIT for eager configs pays its bill here).
+  for (uint32_t f = 0; report.requests_to_tier1 < 100000; f =
+           (f + 1) % static_cast<uint32_t>(suite->num_functions())) {
+    Result<SimResult> result =
+        server.submit(suite->function(f).name(), reduce_args()).get();
+    if (!result.ok() || !result->ok()) {
+      std::fprintf(stderr, "serve_throughput: cold-start request failed\n");
+      std::abort();
+    }
+    ++report.requests_to_tier1;
+    if (result->tier >= 1) break;
+  }
+  report.cold_start_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - t_create)
+                             .count();
 
   // Warm up: enough aggregate closed-loop traffic to cross the tiered
   // thresholds (and, with profiling, install tier-2 artifacts).
@@ -235,22 +260,23 @@ int main() {
               "spusim accel)\n%d clients x %d steady rounds x %zu read-only "
               "kernels, n=%d\n",
               kClients, kSteadyRounds, suite->num_functions(), kElems);
-  std::printf("%-16s %9s %10s %9s %9s %11s %6s %6s %6s %8s\n", "config",
-              "steady ms", "req/s", "p50 us", "p99 us", "cyc/req", "tier0",
-              "tier1", "tier2", "batches");
-  print_rule(100);
+  std::printf("%-16s %9s %10s %9s %9s %11s %6s %6s %6s %8s %8s %8s\n",
+              "config", "steady ms", "req/s", "p50 us", "p99 us", "cyc/req",
+              "tier0", "tier1", "tier2", "batches", "cold ms", "req->t1");
+  print_rule(118);
   for (const ConfigReport& r : reports) {
     std::printf("%-16s %9.2f %10.0f %9.1f %9.1f %11.1f %6llu %6llu %6llu "
-                "%8llu\n",
+                "%8llu %8.2f %8llu\n",
                 r.name.c_str(), r.steady_ms, r.requests_per_sec,
                 static_cast<double>(r.p50_ns) / 1000.0,
                 static_cast<double>(r.p99_ns) / 1000.0, r.mean_cycles,
                 static_cast<unsigned long long>(r.tier0),
                 static_cast<unsigned long long>(r.tier1),
                 static_cast<unsigned long long>(r.tier2),
-                static_cast<unsigned long long>(r.batches));
+                static_cast<unsigned long long>(r.batches), r.cold_start_ms,
+                static_cast<unsigned long long>(r.requests_to_tier1));
   }
-  print_rule(100);
+  print_rule(118);
 
   const double eager_cyc = reports[0].mean_cycles;
   const double profiled_cyc = reports[2].mean_cycles;
@@ -283,6 +309,9 @@ int main() {
     metrics.emplace_back(r.name + ".tier1", static_cast<double>(r.tier1));
     metrics.emplace_back(r.name + ".tier2", static_cast<double>(r.tier2));
     metrics.emplace_back(r.name + ".batches", static_cast<double>(r.batches));
+    metrics.emplace_back(r.name + ".cold_start_ms", r.cold_start_ms);
+    metrics.emplace_back(r.name + ".requests_to_tier1",
+                         static_cast<double>(r.requests_to_tier1));
   }
   bench_report("serve", metrics);
   return 0;

@@ -1,0 +1,377 @@
+// AOT warm start from the persistent on-disk code cache: cold boot vs.
+// second boot vs. a second process sharing the same store directory.
+//
+// The split-compilation premise is that expensive work happens once and
+// is reused; the persistent cache (runtime/persistent_cache.h) extends
+// that across process restarts. This bench proves the claim three ways:
+//
+//   cold    fresh store: every warm_up() compile runs the JIT and
+//           writes its artifact back to disk
+//   warm    same store, new Engine/Deployment (a restart): warm_up()
+//           must complete with ZERO CompileFn invocations -- all disk
+//           hits -- and must be >= several times faster by wall clock
+//   shared  the same binary re-executed as a child process against the
+//           store: the fleet scenario (N server processes, one host)
+//
+// Also measured: time-to-tier-1 -- wall time and requests served from
+// Server-less closed-loop traffic until a full round is answered by
+// JITed code -- the restart-under-traffic number the serving layer
+// cares about. Bit-identity between disk-loaded and freshly compiled
+// code is asserted on every result (value bits, cycles, instructions);
+// any divergence or any compile on the warm path aborts, so this doubles
+// as the warm-start smoke test in ctest.
+//
+// Writes BENCH_warmstart.json (docs/BENCHMARKS.md) when run from the
+// repo root.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <span>
+#include <string>
+#include <vector>
+
+#ifdef _WIN32
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace svc;
+using namespace svc::bench;
+
+constexpr int kElems = 256;
+// Each Table 1 kernel is cloned this many times under fresh names: a
+// module of ~dozens of functions, so the cold JIT bill is long enough to
+// measure and the disk-vs-compile gap is not noise.
+constexpr int kClones = 8;
+
+Function clone_function(const Function& fn, const std::string& name) {
+  Function out(name, fn.sig());
+  for (size_t i = fn.num_params(); i < fn.num_locals(); ++i) {
+    out.add_local(fn.local_type(static_cast<uint32_t>(i)));
+  }
+  for (const BasicBlock& block : fn.blocks()) {
+    const uint32_t b = out.add_block();
+    for (const Instruction& inst : block.insts) out.append(b, inst);
+  }
+  out.annotations() = fn.annotations();
+  return out;
+}
+
+std::vector<uint8_t> build_suite_image() {
+  Module suite;
+  suite.set_name("warm_start_suite");
+  for (const KernelInfo& k : table1_kernels()) {
+    Module m = value_or_die(compile_module(k.source));
+    const Function& fn = m.function(0);
+    suite.add_function(fn);
+    for (int d = 1; d < kClones; ++d) {
+      suite.add_function(clone_function(fn, fn.name() + "_c" +
+                                                std::to_string(d)));
+    }
+  }
+  return serialize_module(suite);
+}
+
+Engine make_engine(const std::string& store_dir, size_t pool_threads) {
+  Engine::Builder builder;
+  // The expensive offline-quality allocator: the configuration where
+  // persisting artifacts pays most -- compile cost is high, reload cost
+  // is a file read.
+  builder.tiered(/*promote_threshold=*/1)
+      .alloc_policy(AllocPolicy::OfflineChaitin)
+      .persistent_cache(store_dir);
+  if (pool_threads > 0) builder.pool_threads(pool_threads);
+  return value_or_die(builder.build());
+}
+
+struct BootReport {
+  double warmup_ms = 0.0;
+  int64_t compiles = 0;
+  int64_t disk_hits = 0;
+  int64_t disk_misses = 0;
+  int64_t disk_writes = 0;
+  int64_t disk_rejects = 0;
+};
+
+/// One boot: load the deployment image, deploy, time warm_up().
+BootReport boot(const Engine& engine, std::span<const uint8_t> image,
+                const std::vector<CoreSpec>& cores) {
+  const ModuleHandle module = value_or_die(engine.load_bytecode(image));
+  Deployment dep = value_or_die(engine.deploy(module, cores));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  dep.warm_up().get();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  BootReport report;
+  report.warmup_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  const Statistics stats = dep.cache_stats();
+  report.compiles = stats.get("cache.compiles");
+  report.disk_hits = stats.get("cache.disk_hits");
+  report.disk_misses = stats.get("cache.disk_misses");
+  report.disk_writes = stats.get("cache.disk_writes");
+  report.disk_rejects = stats.get("cache.disk_rejects");
+  return report;
+}
+
+void require(bool cond, const char* what) {
+  if (!cond) {
+    std::fprintf(stderr, "warm_start: REQUIREMENT FAILED: %s\n", what);
+    std::abort();
+  }
+}
+
+/// Runs every original (non-clone) kernel once on `dep`; returns results
+/// for bit-comparison.
+std::vector<SimResult> run_kernels(Deployment& dep) {
+  setup_memory(dep.memory(), kElems);
+  std::vector<SimResult> results;
+  for (const KernelInfo& k : table1_kernels()) {
+    SimResult r = value_or_die(dep.run(k.fn_name, kernel_args(k, kElems)));
+    require(r.ok(), "kernel trapped");
+    results.push_back(r);
+  }
+  return results;
+}
+
+/// Restart-under-traffic: no explicit warm-up; closed-loop requests over
+/// every kernel until one full round is served entirely by JITed code.
+struct TierUpReport {
+  double to_tier1_ms = 0.0;
+  uint64_t requests = 0;
+  double reqs_per_sec = 0.0;
+};
+
+TierUpReport time_to_tier1(const Engine& engine,
+                           std::span<const uint8_t> image,
+                           const std::vector<CoreSpec>& cores) {
+  const ModuleHandle module = value_or_die(engine.load_bytecode(image));
+  Deployment dep = value_or_die(engine.deploy(module, cores));
+  setup_memory(dep.memory(), kElems);
+
+  TierUpReport report;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int round = 0; round < 10000; ++round) {
+    bool all_jitted = true;
+    for (const KernelInfo& k : table1_kernels()) {
+      const SimResult r =
+          value_or_die(dep.run(k.fn_name, kernel_args(k, kElems)));
+      require(r.ok(), "kernel trapped during tier-up");
+      ++report.requests;
+      all_jitted = all_jitted && r.tier >= 1;
+    }
+    if (all_jitted) break;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  report.to_tier1_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  report.reqs_per_sec =
+      report.to_tier1_ms > 0.0
+          ? static_cast<double>(report.requests) / (report.to_tier1_ms / 1e3)
+          : 0.0;
+  return report;
+}
+
+std::vector<CoreSpec> het_cores() {
+  return {{TargetKind::X86Sim, false},
+          {TargetKind::SparcSim, false},
+          {TargetKind::PpcSim, false},
+          {TargetKind::SpuSim, true}};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<uint8_t> image = build_suite_image();
+
+  // Child mode (the shared-store second process): warm-boot against the
+  // given store and enforce the zero-compile contract from a process
+  // that has never compiled anything.
+  if (argc == 3 && std::string(argv[1]) == "--warm-child") {
+    const Engine engine = make_engine(argv[2], /*pool_threads=*/0);
+    const BootReport warm =
+        boot(engine, image, {{TargetKind::X86Sim, false}});
+    require(warm.compiles == 0, "child process compiled despite warm store");
+    require(warm.disk_hits > 0, "child process saw no disk hits");
+    std::printf("warm child: warm_up %.2f ms, %lld disk hits, 0 compiles\n",
+                warm.warmup_ms, static_cast<long long>(warm.disk_hits));
+    return 0;
+  }
+
+  namespace fs = std::filesystem;
+  const fs::path root =
+      fs::temp_directory_path() /
+      ("svc_warm_start_" + std::to_string(static_cast<long long>(
+#ifdef _WIN32
+                               _getpid()
+#else
+                               getpid()
+#endif
+                               )));
+  fs::remove_all(root);
+  const std::string x86_store = (root / "x86").string();
+  const std::string het_store = (root / "het").string();
+
+  const std::vector<CoreSpec> x86_cores = {{TargetKind::X86Sim, false}};
+  const size_t n_functions = table1_kernels().size() * kClones;
+
+  // Reference deployment from an engine WITHOUT the store: its warm_up
+  // always runs the JIT, so the bit-identity check below really compares
+  // disk-loaded code against a fresh compile.
+  Engine::Builder plain_builder;
+  plain_builder.tiered(/*promote_threshold=*/1)
+      .alloc_policy(AllocPolicy::OfflineChaitin);
+  const Engine plain_engine = value_or_die(plain_builder.build());
+  Deployment fresh_dep = value_or_die(plain_engine.deploy(
+      value_or_die(plain_engine.load_bytecode(image)), x86_cores));
+
+  // --- x86sim: cold boot, then a restart against the same store ---------
+  const Engine x86_engine = make_engine(x86_store, /*pool_threads=*/0);
+  const BootReport cold = boot(x86_engine, image, x86_cores);
+  require(cold.compiles == static_cast<int64_t>(n_functions),
+          "cold boot must compile every function");
+  require(cold.disk_writes == cold.compiles,
+          "every cold compile must write back to the store");
+
+  // A restart is a fresh Engine over the same directory: nothing cached
+  // in memory, everything on disk.
+  const Engine restart_engine = make_engine(x86_store, /*pool_threads=*/0);
+  BootReport warm;
+  {
+    const ModuleHandle module =
+        value_or_die(restart_engine.load_bytecode(image));
+    Deployment dep = value_or_die(restart_engine.deploy(module, x86_cores));
+    const auto t0 = std::chrono::steady_clock::now();
+    dep.warm_up().get();
+    const auto t1 = std::chrono::steady_clock::now();
+    warm.warmup_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    const Statistics stats = dep.cache_stats();
+    warm.compiles = stats.get("cache.compiles");
+    warm.disk_hits = stats.get("cache.disk_hits");
+    warm.disk_misses = stats.get("cache.disk_misses");
+    warm.disk_writes = stats.get("cache.disk_writes");
+    warm.disk_rejects = stats.get("cache.disk_rejects");
+
+    // Bit-identity: disk-loaded code must reproduce the freshly compiled
+    // deployment's results exactly -- value bits, cycles, instructions.
+    fresh_dep.warm_up().get();
+    std::vector<SimResult> expected = run_kernels(fresh_dep);
+    std::vector<SimResult> got = run_kernels(dep);
+    for (size_t i = 0; i < expected.size(); ++i) {
+      require(got[i].value == expected[i].value,
+              "disk-loaded result bits diverge from fresh compile");
+      require(got[i].stats.cycles == expected[i].stats.cycles,
+              "disk-loaded cycle count diverges from fresh compile");
+      require(got[i].stats.instructions == expected[i].stats.instructions,
+              "disk-loaded step count diverges from fresh compile");
+      require(got[i].tier == expected[i].tier,
+              "disk-loaded tier diverges from fresh compile");
+    }
+  }
+  require(warm.compiles == 0,
+          "second boot ran the JIT despite a complete store");
+  require(warm.disk_hits == static_cast<int64_t>(n_functions),
+          "second boot must load every function from disk");
+  const double speedup =
+      warm.warmup_ms > 0.0 ? cold.warmup_ms / warm.warmup_ms : 0.0;
+
+  // --- restart under traffic: time-to-tier-1 without explicit warm-up ---
+  const TierUpReport traffic_cold = time_to_tier1(
+      make_engine((root / "traffic").string(), /*pool_threads=*/2), image,
+      x86_cores);
+  const TierUpReport traffic_warm = time_to_tier1(
+      make_engine((root / "traffic").string(), /*pool_threads=*/2), image,
+      x86_cores);
+
+  // --- heterogeneous SoC: 4 kinds x n_functions artifacts ---------------
+  const BootReport het_cold =
+      boot(make_engine(het_store, /*pool_threads=*/0), image, het_cores());
+  const BootReport het_warm =
+      boot(make_engine(het_store, /*pool_threads=*/0), image, het_cores());
+  require(het_warm.compiles == 0, "het second boot ran the JIT");
+  const double het_speedup =
+      het_warm.warmup_ms > 0.0 ? het_cold.warmup_ms / het_warm.warmup_ms
+                               : 0.0;
+
+  // --- shared store, second process -------------------------------------
+  int child_ok = 0;
+  {
+    const std::string cmd =
+        std::string(argv[0]) + " --warm-child " + x86_store;
+    child_ok = std::system(cmd.c_str()) == 0 ? 1 : 0;
+    require(child_ok == 1, "shared-store child process failed");
+  }
+
+  std::printf("persistent code cache warm start (%zu functions, store %s)\n",
+              n_functions, root.string().c_str());
+  std::printf("%-22s %12s %9s %10s %10s\n", "boot", "warm_up ms", "compiles",
+              "disk hits", "disk wr");
+  print_rule(68);
+  std::printf("%-22s %12.2f %9lld %10lld %10lld\n", "x86sim cold",
+              cold.warmup_ms, static_cast<long long>(cold.compiles),
+              static_cast<long long>(cold.disk_hits),
+              static_cast<long long>(cold.disk_writes));
+  std::printf("%-22s %12.2f %9lld %10lld %10lld\n", "x86sim warm (restart)",
+              warm.warmup_ms, static_cast<long long>(warm.compiles),
+              static_cast<long long>(warm.disk_hits),
+              static_cast<long long>(warm.disk_writes));
+  std::printf("%-22s %12.2f %9lld %10lld %10lld\n", "het-4 cold",
+              het_cold.warmup_ms, static_cast<long long>(het_cold.compiles),
+              static_cast<long long>(het_cold.disk_hits),
+              static_cast<long long>(het_cold.disk_writes));
+  std::printf("%-22s %12.2f %9lld %10lld %10lld\n", "het-4 warm (restart)",
+              het_warm.warmup_ms, static_cast<long long>(het_warm.compiles),
+              static_cast<long long>(het_warm.disk_hits),
+              static_cast<long long>(het_warm.disk_writes));
+  print_rule(68);
+  std::printf("warm_up speedup: %.1fx on x86sim, %.1fx on the het SoC "
+              "(zero JIT compiles on every warm path)\n",
+              speedup, het_speedup);
+  std::printf("time-to-tier-1 under traffic: cold %.2f ms (%llu reqs, "
+              "%.0f req/s), warm %.2f ms (%llu reqs, %.0f req/s)\n",
+              traffic_cold.to_tier1_ms,
+              static_cast<unsigned long long>(traffic_cold.requests),
+              traffic_cold.reqs_per_sec, traffic_warm.to_tier1_ms,
+              static_cast<unsigned long long>(traffic_warm.requests),
+              traffic_warm.reqs_per_sec);
+  std::printf("shared-store second process: %s\n",
+              child_ok ? "ok (0 compiles, all disk hits)" : "FAILED");
+  std::printf("every disk-loaded result verified bit-identical to a fresh "
+              "compile\n");
+
+  bench_report(
+      "warmstart",
+      {
+          {"functions", static_cast<double>(n_functions)},
+          {"x86sim.cold.warmup_ms", cold.warmup_ms},
+          {"x86sim.cold.compiles", static_cast<double>(cold.compiles)},
+          {"x86sim.cold.disk_writes",
+           static_cast<double>(cold.disk_writes)},
+          {"x86sim.warm.warmup_ms", warm.warmup_ms},
+          {"x86sim.warm.compiles", static_cast<double>(warm.compiles)},
+          {"x86sim.warm.disk_hits", static_cast<double>(warm.disk_hits)},
+          {"x86sim.warmup_speedup", speedup},
+          {"x86sim.cold.time_to_tier1_ms", traffic_cold.to_tier1_ms},
+          {"x86sim.cold.tier1_reqs_per_sec", traffic_cold.reqs_per_sec},
+          {"x86sim.warm.time_to_tier1_ms", traffic_warm.to_tier1_ms},
+          {"x86sim.warm.tier1_reqs_per_sec", traffic_warm.reqs_per_sec},
+          {"het4.cold.warmup_ms", het_cold.warmup_ms},
+          {"het4.cold.compiles", static_cast<double>(het_cold.compiles)},
+          {"het4.warm.warmup_ms", het_warm.warmup_ms},
+          {"het4.warm.compiles", static_cast<double>(het_warm.compiles)},
+          {"het4.warm.disk_hits", static_cast<double>(het_warm.disk_hits)},
+          {"het4.warmup_speedup", het_speedup},
+          {"shared_process.ok", static_cast<double>(child_ok)},
+      });
+
+  std::error_code ec;
+  fs::remove_all(root, ec);
+  return 0;
+}

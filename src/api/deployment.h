@@ -68,6 +68,13 @@ class Deployment {
   /// completes when the deployment is fully warm: every subsequent run is
   /// served by JITed code. Ready immediately for eager deployments.
   ///
+  /// With Engine::Builder::persistent_cache() configured, warm-up
+  /// prefers disk: every function already persisted by a previous boot
+  /// (or another process sharing the store) installs from its on-disk
+  /// artifact without invoking the JIT, making a second boot's warm-up
+  /// near-instant -- cache_stats() then reports cache.disk_hits and
+  /// zero cache.compiles (bench/warm_start.cpp measures the win).
+  ///
   /// Concurrency contract: safe to call from any thread, concurrently
   /// with run/run_on and with other warm_up calls. The deployment keeps
   /// its own handle on every job it launches and its destructor waits

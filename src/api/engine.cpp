@@ -5,6 +5,7 @@
 
 #include "bytecode/serializer.h"
 #include "bytecode/verifier.h"
+#include "runtime/persistent_cache.h"
 #include "ir/ir_pipeline.h"
 #include "jit/jit_pipeline.h"
 
@@ -90,6 +91,11 @@ Engine::Builder& Engine::Builder::cache_budget(size_t bytes) {
   return *this;
 }
 
+Engine::Builder& Engine::Builder::persistent_cache(std::string_view path) {
+  options_.persistent_cache_path = std::string(path);
+  return *this;
+}
+
 Engine::Builder& Engine::Builder::memory_bytes(size_t bytes) {
   options_.memory_bytes = bytes;
   return *this;
@@ -170,6 +176,19 @@ Result<Engine> Engine::Builder::build() const {
             "this linear memory");
   }
 
+  if (!options.persistent_cache_path.empty()) {
+    // Opening validates the whole contract now (creatable, a directory,
+    // writable) so a mis-pointed store is a build() error instead of a
+    // silently memory-only deployment. The probe store is discarded;
+    // each Soc opens its own against the validated path.
+    if (Result<PersistentCache> store =
+            PersistentCache::open(options.persistent_cache_path);
+        !store.ok()) {
+      problem("persistent_cache('" + options.persistent_cache_path +
+              "') failed validation:\n" + store.error_text());
+    }
+  }
+
   validate_server_options(options.server, problems);
 
   if (!problems.empty()) return Result<Engine>::failure(std::move(problems));
@@ -227,6 +246,7 @@ Result<Deployment> Engine::deploy(const ModuleHandle& module,
   soc_options.tier2_threshold = options_.tier2_threshold;
   soc_options.pool_threads = options_.pool_threads;
   soc_options.cache_budget_bytes = options_.cache_budget_bytes;
+  soc_options.persistent_cache_path = options_.persistent_cache_path;
 
   const size_t memory_bytes =
       std::max<size_t>(options_.memory_bytes, module->memory_hint());

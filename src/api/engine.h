@@ -62,6 +62,11 @@ struct EngineOptions {
   uint32_t tier2_threshold = 0;
   size_t pool_threads = 0;
   size_t cache_budget_bytes = SIZE_MAX;
+  // Directory of the persistent on-disk code cache shared by every
+  // deployment of this engine (and by other processes pointing at the
+  // same directory); empty = in-memory caching only. Validated at
+  // build(). See docs/PERSISTENCE.md.
+  std::string persistent_cache_path;
   // Linear memory per deployment; raised to the module's own memory hint
   // at deploy() when that is larger.
   size_t memory_bytes = size_t{1} << 20;
@@ -168,6 +173,15 @@ class Engine::Builder {
   Builder& tier2(uint32_t threshold);
   Builder& pool_threads(size_t threads);
   Builder& cache_budget(size_t bytes);
+  /// Persistent on-disk code cache rooted at `path` (created if needed):
+  /// JIT artifacts survive process restarts, so a second boot's
+  /// Deployment::warm_up() loads code from disk instead of recompiling
+  /// (near-instant; bench/warm_start.cpp measures it), and concurrent
+  /// server processes on one host share one store. build() validates the
+  /// path (creatable, a directory, writable); corrupt or stale entries
+  /// at run time are silent misses that recompile. See
+  /// docs/PERSISTENCE.md for the format and sharing contract.
+  Builder& persistent_cache(std::string_view path);
   Builder& memory_bytes(size_t bytes);
 
   // --- serving layer ---

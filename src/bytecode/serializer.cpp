@@ -172,6 +172,12 @@ std::optional<Function> read_function(ByteReader& r) {
 
 }  // namespace
 
+std::vector<uint8_t> serialize_function(const Function& fn) {
+  std::vector<uint8_t> out;
+  write_function(out, fn);
+  return out;
+}
+
 std::vector<uint8_t> serialize_module(const Module& module) {
   std::vector<uint8_t> out;
   out.insert(out.end(), kMagic.begin(), kMagic.end());

@@ -20,6 +20,13 @@ namespace svc {
 
 [[nodiscard]] std::vector<uint8_t> serialize_module(const Module& module);
 
+/// Serialized image of one function -- the exact per-function record of
+/// the module image (name, signature, locals, blocks, annotations). Used
+/// by the persistent code cache to derive restart-stable content hashes:
+/// two functions with equal images compile to equal code given equal
+/// options, target, and callee signatures.
+[[nodiscard]] std::vector<uint8_t> serialize_function(const Function& fn);
+
 struct DeserializeResult {
   std::optional<Module> module;
   std::string error;  // set when module is nullopt

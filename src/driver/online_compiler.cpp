@@ -85,6 +85,10 @@ Result<void> OnlineTarget::load_module(std::shared_ptr<const Module> module) {
   // hand them a dangling module pointer; finish them first.
   drain_pending();
 
+  // Registration computes the restart-stable content hashes the shared
+  // cache's on-disk tier keys by (no-op without a persistent store).
+  if (config_.cache) config_.cache->register_module(*module);
+
   std::lock_guard<std::mutex> lock(mutex_);
   module_ = std::move(module);
   const Module& mod = *module_;

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "bytecode/module.h"
+
 namespace svc {
 
 CodeCache::Artifact CodeCache::get_or_compile(const CodeCacheKey& key,
@@ -10,6 +12,7 @@ CodeCache::Artifact CodeCache::get_or_compile(const CodeCacheKey& key,
   // caching under it would alias unrelated modules' artifacts.
   assert(key.module_id != 0 && "CodeCacheKey with dead module id");
   std::promise<Artifact> promise;
+  std::optional<PersistentCacheKey> disk_key;
   {
     std::unique_lock<std::mutex> lock(mutex_);
     if (auto it = entries_.find(key); it != entries_.end()) {
@@ -27,7 +30,43 @@ CodeCache::Artifact CodeCache::get_or_compile(const CodeCacheKey& key,
       return future.get();
     }
     stats_.add("cache.misses", 1);
+    disk_key = disk_key_locked(key);
     inflight_.emplace(key, promise.get_future().share());
+  }
+
+  // Second level: consult the on-disk store before compiling. The probe
+  // (file I/O + decode) runs outside the lock like the compile itself;
+  // coalescing above guarantees one prober per key. Any invalid entry
+  // degrades to a miss and is overwritten by this compile's write-back.
+  if (disk_key) {
+    const PersistentCache::LoadResult loaded = persistent_->load(*disk_key);
+    switch (loaded.status) {
+      case PersistentCache::LoadStatus::Hit: {
+        Artifact artifact = loaded.artifact;
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          stats_.add("cache.disk_hits", 1);
+          insert_locked(key, artifact);
+          inflight_.erase(key);
+        }
+        promise.set_value(artifact);
+        return artifact;
+      }
+      case PersistentCache::LoadStatus::Reject:
+        // Corrupt, truncated, or stale entry: a clean miss by contract
+        // (never a crash); counted, then recompiled and overwritten.
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          stats_.add("cache.disk_rejects", 1);
+          stats_.add("cache.disk_misses", 1);
+        }
+        break;
+      case PersistentCache::LoadStatus::Miss: {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stats_.add("cache.disk_misses", 1);
+        break;
+      }
+    }
   }
 
   // Compile outside the lock so independent keys compile in parallel.
@@ -46,9 +85,16 @@ CodeCache::Artifact CodeCache::get_or_compile(const CodeCacheKey& key,
     throw;
   }
 
+  // Write-back before publishing in memory: the waiters' wall time is
+  // dominated by the compile anyway, and a crash after publish would
+  // otherwise lose the artifact for every future process.
+  bool wrote = false;
+  if (disk_key) wrote = persistent_->store(*disk_key, *artifact);
+
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stats_.add("cache.compiles", 1);
+    if (wrote) stats_.add("cache.disk_writes", 1);
     insert_locked(key, artifact);
     inflight_.erase(key);
   }
@@ -56,6 +102,41 @@ CodeCache::Artifact CodeCache::get_or_compile(const CodeCacheKey& key,
   // under the lock, so erasing the in-flight slot first is safe.
   promise.set_value(artifact);
   return artifact;
+}
+
+void CodeCache::attach_persistent(PersistentCache* store) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  persistent_ = store;
+}
+
+bool CodeCache::has_persistent() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return persistent_ != nullptr;
+}
+
+void CodeCache::register_module(const Module& module) {
+  assert(module.id() != 0 && "registering a moved-from module");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!persistent_ || content_hashes_.count(module.id())) return;
+  }
+  // Hashing serializes every function; keep it off the lock and tolerate
+  // the benign race of two loaders hashing the same (immutable) module.
+  std::vector<uint64_t> hashes = PersistentCache::content_hashes(module);
+  std::lock_guard<std::mutex> lock(mutex_);
+  content_hashes_.emplace(module.id(), std::move(hashes));
+}
+
+std::optional<PersistentCacheKey> CodeCache::disk_key_locked(
+    const CodeCacheKey& key) const {
+  if (!persistent_) return std::nullopt;
+  const auto it = content_hashes_.find(key.module_id);
+  if (it == content_hashes_.end() || key.func_idx >= it->second.size()) {
+    return std::nullopt;
+  }
+  return PersistentCacheKey{it->second[key.func_idx], key.func_idx, key.kind,
+                            key.options_key,          key.tier,
+                            key.profile_hash};
 }
 
 CodeCache::Artifact CodeCache::peek(const CodeCacheKey& key) const {

@@ -21,10 +21,13 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "jit/jit_compiler.h"
+#include "runtime/persistent_cache.h"
 
 namespace svc {
 
@@ -40,30 +43,62 @@ namespace svc {
 /// profile-guided re-specializations (tier 2): artifacts of different
 /// tiers -- or of the same tier shaped by different observed profiles --
 /// coexist as independent entries and evict independently.
-struct CodeCacheKey {
-  uint64_t module_id = 0;  // Module::id() of the deployed module
-  uint32_t func_idx = 0;
-  TargetKind kind = TargetKind::X86Sim;
-  std::string options_key;  // JitOptions::cache_key()
-  uint32_t tier = 1;        // 1 = first JIT, 2 = optimizing recompile
-  uint64_t profile_hash = 0;  // ProfileInfo::hash() behind a tier-2 compile
+///
+/// The mixed hash is precomputed at construction (the dominant cost is
+/// hashing options_key, a string that never changes after construction),
+/// so every probe on the hot request path is a field read instead of a
+/// re-hash. Keys are immutable: mutate-by-rebuild if you need a variant.
+class CodeCacheKey {
+ public:
+  CodeCacheKey() { rehash(); }
+  CodeCacheKey(uint64_t module_id, uint32_t func_idx, TargetKind kind,
+               std::string options_key, uint32_t tier = 1,
+               uint64_t profile_hash = 0)
+      : module_id(module_id),
+        func_idx(func_idx),
+        kind(kind),
+        options_key(std::move(options_key)),
+        tier(tier),
+        profile_hash(profile_hash) {
+    rehash();
+  }
 
-  friend bool operator==(const CodeCacheKey&, const CodeCacheKey&) = default;
-};
+  const uint64_t module_id = 0;  // Module::id() of the deployed module
+  const uint32_t func_idx = 0;
+  const TargetKind kind = TargetKind::X86Sim;
+  const std::string options_key;  // JitOptions::cache_key()
+  const uint32_t tier = 1;        // 1 = first JIT, 2 = optimizing recompile
+  const uint64_t profile_hash = 0;  // ProfileInfo::hash() of a tier-2 compile
 
-struct CodeCacheKeyHash {
-  size_t operator()(const CodeCacheKey& key) const {
-    size_t h = std::hash<uint64_t>{}(key.module_id);
+  /// The precomputed mixed hash; equal keys always carry equal hashes
+  /// (asserted by tests/persistent_cache_test.cpp).
+  [[nodiscard]] size_t hash() const { return hash_; }
+
+  friend bool operator==(const CodeCacheKey& a, const CodeCacheKey& b) {
+    return a.hash_ == b.hash_ && a.module_id == b.module_id &&
+           a.func_idx == b.func_idx && a.kind == b.kind && a.tier == b.tier &&
+           a.profile_hash == b.profile_hash && a.options_key == b.options_key;
+  }
+
+ private:
+  void rehash() {
+    size_t h = std::hash<uint64_t>{}(module_id);
     const auto mix = [&h](size_t v) {
       h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
     };
-    mix(key.func_idx);
-    mix(static_cast<size_t>(key.kind));
-    mix(std::hash<std::string>{}(key.options_key));
-    mix(key.tier);
-    mix(static_cast<size_t>(key.profile_hash));
-    return h;
+    mix(func_idx);
+    mix(static_cast<size_t>(kind));
+    mix(std::hash<std::string>{}(options_key));
+    mix(tier);
+    mix(static_cast<size_t>(profile_hash));
+    hash_ = h;
   }
+
+  size_t hash_ = 0;
+};
+
+struct CodeCacheKeyHash {
+  size_t operator()(const CodeCacheKey& key) const { return key.hash(); }
 };
 
 class CodeCache {
@@ -77,7 +112,30 @@ class CodeCache {
   /// Returns the artifact for `key`, running `compile` on a miss. Counts
   /// "cache.hits" / "cache.misses"; concurrent same-key callers coalesce
   /// ("cache.coalesced") and only one runs `compile` ("cache.compiles").
+  ///
+  /// With an attached persistent store (and the key's module registered),
+  /// a memory miss consults disk before compiling: a valid entry installs
+  /// without invoking `compile` ("cache.disk_hits"), an absent one counts
+  /// "cache.disk_misses", a corrupt/stale one additionally
+  /// "cache.disk_rejects", and a fresh compile writes back atomically
+  /// ("cache.disk_writes") so concurrent processes sharing the store
+  /// directory reuse each other's work.
   Artifact get_or_compile(const CodeCacheKey& key, const CompileFn& compile);
+
+  /// Attaches (or detaches, with nullptr) the on-disk second-level store.
+  /// The store is borrowed: it must outlive the cache (a Soc owns both in
+  /// the right order). Attach before the first get_or_compile; modules
+  /// already registered keep their content hashes.
+  void attach_persistent(PersistentCache* store);
+
+  /// True when an on-disk store is attached.
+  [[nodiscard]] bool has_persistent() const;
+
+  /// Computes and records the restart-stable per-function content hashes
+  /// of `module` (PersistentCache::content_hashes), enabling disk
+  /// consultation for keys carrying this module's id. Idempotent; cheap
+  /// no-op without an attached store. Loaders call this once per module.
+  void register_module(const Module& module);
 
   /// Non-compiling, non-counting probe; does not touch LRU order.
   [[nodiscard]] Artifact peek(const CodeCacheKey& key) const;
@@ -92,7 +150,9 @@ class CodeCache {
   [[nodiscard]] size_t num_entries() const;
 
   /// Snapshot of the cache counters: cache.hits, cache.misses,
-  /// cache.compiles, cache.coalesced, cache.evictions, cache.bytes.
+  /// cache.compiles, cache.coalesced, cache.evictions, cache.bytes, and
+  /// -- with a persistent store attached -- cache.disk_hits,
+  /// cache.disk_misses, cache.disk_writes, cache.disk_rejects.
   [[nodiscard]] Statistics stats() const;
 
   /// Drops every cached artifact (in-flight compiles finish normally).
@@ -107,10 +167,18 @@ class CodeCache {
 
   void insert_locked(const CodeCacheKey& key, Artifact artifact);
   void evict_to_budget_locked();
+  /// The disk spelling of `key` when an on-disk probe is possible (store
+  /// attached, module registered, function index in range).
+  [[nodiscard]] std::optional<PersistentCacheKey> disk_key_locked(
+      const CodeCacheKey& key) const;
 
   mutable std::mutex mutex_;
   size_t budget_;
   size_t bytes_ = 0;
+  PersistentCache* persistent_ = nullptr;
+  // Module id -> restart-stable per-function content hashes, registered
+  // by loaders; consulted to translate in-memory keys to disk keys.
+  std::unordered_map<uint64_t, std::vector<uint64_t>> content_hashes_;
   std::unordered_map<CodeCacheKey, Entry, CodeCacheKeyHash> entries_;
   std::list<CodeCacheKey> lru_;  // front = most recently used
   std::unordered_map<CodeCacheKey, std::shared_future<Artifact>,

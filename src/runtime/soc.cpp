@@ -1,14 +1,30 @@
 #include "runtime/soc.h"
 
+#include <cstdio>
+
 #include "runtime/mapper.h"
 
 namespace svc {
 
 Soc::Soc(std::vector<CoreSpec> cores, size_t memory_bytes, SocOptions options)
-    : options_(options),
-      cache_(options.cache_budget_bytes),
+    : options_(std::move(options)),
+      cache_(options_.cache_budget_bytes),
       specs_(std::move(cores)),
       memory_(memory_bytes) {
+  if (!options_.persistent_cache_path.empty()) {
+    Result<PersistentCache> store =
+        PersistentCache::open(options_.persistent_cache_path);
+    if (store.ok()) {
+      persistent_ =
+          std::make_unique<PersistentCache>(std::move(store).value());
+      cache_.attach_persistent(persistent_.get());
+    } else {
+      // Disk problems never break a deployment: run memory-only. Engine
+      // users get this reported at build() instead (deploy validation).
+      std::fprintf(stderr, "Soc: persistent cache disabled:\n%s\n",
+                   store.error_text().c_str());
+    }
+  }
   if (options_.pool_threads > 0) {
     pool_ = std::make_unique<ThreadPool>(options_.pool_threads);
   }

@@ -1,0 +1,26 @@
+# Warm-start smoke (ctest): runs the embed_api example twice against one
+# fresh persistent-store directory. The first run cold-boots (compiles,
+# writes artifacts back); the second runs with --assert-warm, which makes
+# the example exit non-zero unless warm-up was served entirely from disk
+# (cache.disk_hits > 0 and zero JIT compiles). Invoked by add_test as
+#   cmake -DEXAMPLE=<example_embed_api> -DSTORE=<dir> -P this-file
+if(NOT DEFINED EXAMPLE OR NOT DEFINED STORE)
+  message(FATAL_ERROR "usage: cmake -DEXAMPLE=<binary> -DSTORE=<dir> -P warm_start_smoke.cmake")
+endif()
+
+file(REMOVE_RECURSE "${STORE}")
+
+execute_process(COMMAND "${EXAMPLE}" --store "${STORE}"
+                RESULT_VARIABLE cold_result)
+if(NOT cold_result EQUAL 0)
+  message(FATAL_ERROR "cold boot failed (exit ${cold_result})")
+endif()
+
+execute_process(COMMAND "${EXAMPLE}" --store "${STORE}" --assert-warm
+                RESULT_VARIABLE warm_result)
+if(NOT warm_result EQUAL 0)
+  message(FATAL_ERROR "second boot was not warm (exit ${warm_result}): "
+                      "expected disk hits and zero JIT compiles")
+endif()
+
+file(REMOVE_RECURSE "${STORE}")
