@@ -1,0 +1,83 @@
+// The one JSON trajectory writer behind every bench executable
+// (bench/interp_dispatch.cpp, bench/warm_start.cpp,
+// bench/serve_throughput.cpp): each bench previously hand-rolled its own
+// fprintf JSON; this header is the shared schema so the files stay
+// uniform and docs/BENCHMARKS.md documents one format.
+//
+// Schema (version 2):
+//   {
+//     "bench": "<name>",
+//     "schema": 2,
+//     "timestamp": "<ISO-8601 UTC of the run>",
+//     "config": { "<key>": "<string>", ... },   // workload shape
+//     "metrics": { "<dotted.key>": <number>, ... }
+//   }
+// config records what was run (client counts, shard lists, element
+// sizes) as strings; metrics record what was measured as numbers, flat
+// and insertion-ordered. Keys must not need JSON escaping (plain
+// [A-Za-z0-9._+-]); non-finite metric values are recorded as 0 to keep
+// the file valid JSON.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <ctime>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace svc::bench {
+
+/// One row of a machine-readable bench report: flat dotted key, numeric
+/// value (e.g. {"x86sim.threaded_fused.steps_per_sec", 1.2e8}).
+using BenchMetric = std::pair<std::string, double>;
+
+/// One workload-shape entry of the report's config object (stringly:
+/// {"clients", "4"}).
+using BenchConfigEntry = std::pair<std::string, std::string>;
+
+/// Writes `BENCH_<name>.json` in the current working directory. Benches
+/// are run from the repo root so the trajectory files land next to the
+/// sources and get versioned across PRs.
+inline void bench_report(const std::string& name,
+                         const std::vector<BenchConfigEntry>& config,
+                         const std::vector<BenchMetric>& metrics) {
+  const std::string path = "BENCH_" + name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "bench_report: cannot write %s\n", path.c_str());
+    return;
+  }
+  char timestamp[32] = "unknown";
+  const std::time_t now = std::time(nullptr);
+  if (std::tm utc{}; gmtime_r(&now, &utc) != nullptr) {
+    std::strftime(timestamp, sizeof timestamp, "%Y-%m-%dT%H:%M:%SZ", &utc);
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"%s\",\n  \"schema\": 2,\n"
+               "  \"timestamp\": \"%s\",\n  \"config\": {\n",
+               name.c_str(), timestamp);
+  for (size_t i = 0; i < config.size(); ++i) {
+    std::fprintf(f, "    \"%s\": \"%s\"%s\n", config[i].first.c_str(),
+                 config[i].second.c_str(),
+                 i + 1 < config.size() ? "," : "");
+  }
+  std::fprintf(f, "  },\n  \"metrics\": {\n");
+  for (size_t i = 0; i < metrics.size(); ++i) {
+    const double v = std::isfinite(metrics[i].second) ? metrics[i].second : 0.0;
+    std::fprintf(f, "    \"%s\": %.10g%s\n", metrics[i].first.c_str(), v,
+                 i + 1 < metrics.size() ? "," : "");
+  }
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+  std::printf("bench_report: wrote %s\n", path.c_str());
+}
+
+/// Config-free convenience overload (an empty config object is still
+/// written, so every report parses the same).
+inline void bench_report(const std::string& name,
+                         const std::vector<BenchMetric>& metrics) {
+  bench_report(name, {}, metrics);
+}
+
+}  // namespace svc::bench

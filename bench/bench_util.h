@@ -3,7 +3,6 @@
 // table printing.
 #pragma once
 
-#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <string>
@@ -11,39 +10,10 @@
 #include <vector>
 
 #include "api/svc.h"
+#include "bench_report.h"
 #include "support/rng.h"
 
 namespace svc::bench {
-
-/// One row of a machine-readable bench report: flat dotted key, numeric
-/// value (e.g. {"x86sim.threaded_fused.steps_per_sec", 1.2e8}).
-using BenchMetric = std::pair<std::string, double>;
-
-/// Writes `BENCH_<name>.json` in the current working directory: the
-/// bench's metrics as a flat, insertion-ordered {key: number} object (the
-/// schema is documented in docs/BENCHMARKS.md). Benches are run from the
-/// repo root so the trajectory files land next to the sources and get
-/// versioned across PRs. Non-finite values are recorded as 0 to keep the
-/// file valid JSON. Keys must not need escaping (plain [A-Za-z0-9._+-]).
-inline void bench_report(const std::string& name,
-                         const std::vector<BenchMetric>& metrics) {
-  const std::string path = "BENCH_" + name + ".json";
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (!f) {
-    std::fprintf(stderr, "bench_report: cannot write %s\n", path.c_str());
-    return;
-  }
-  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"schema\": 1,\n"
-               "  \"metrics\": {\n", name.c_str());
-  for (size_t i = 0; i < metrics.size(); ++i) {
-    const double v = std::isfinite(metrics[i].second) ? metrics[i].second : 0.0;
-    std::fprintf(f, "    \"%s\": %.10g%s\n", metrics[i].first.c_str(), v,
-                 i + 1 < metrics.size() ? "," : "");
-  }
-  std::fprintf(f, "  }\n}\n");
-  std::fclose(f);
-  std::printf("bench_report: wrote %s\n", path.c_str());
-}
 
 /// Unwraps a Result<T>, aborting with its diagnostics on failure (bench
 /// inputs are known-good kernels).

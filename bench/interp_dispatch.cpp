@@ -199,6 +199,9 @@ int main() {
               "(%d rounds x %zu kernels per ISA)\n",
               kVerifyRounds, kernels.size());
 
-  bench_report("interp", metrics);
+  bench_report("interp",
+               {{"elems", std::to_string(kElems)},
+                {"verify_rounds", std::to_string(kVerifyRounds)}},
+               metrics);
   return 0;
 }

@@ -19,16 +19,34 @@
 // The workload is the three read-only Table 1 reductions: requests can
 // share the deployment's linear memory without coordination, which is
 // exactly the traffic shape the serving layer batches per core.
+//
+// A second section measures the svc::Cluster scaling curve, 1 -> N
+// shards (each shard one 4-core Deployment, least-loaded routing):
+//   closed loop   the same client model as above; the scaling number is
+//                 deterministic -- critical-path simulated cycles
+//                 (max per-shard sim_cycles) against the 1-shard run --
+//                 because wall-clock scaling is host-dependent (on a
+//                 1-CPU host the shards timeshare one core).
+//   open loop     Poisson arrivals at a rate overloading one shard
+//                 (offered = kOverloadFactor x the measured 1-shard
+//                 closed-loop throughput): p50/p99 under overload and
+//                 admission rejections per shard count.
+// Every cluster result is bit-checked against the same sequential
+// reference. `--max-shards K` truncates the shard sweep (the ctest
+// smoke runs with --max-shards 2).
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_util.h"
 #include "support/latency_histogram.h"
+#include "support/rng.h"
 
 namespace {
 
@@ -40,6 +58,12 @@ constexpr uint32_t kDataBase = 4096;
 constexpr int kClients = 4;
 constexpr int kWarmRounds = 12;   // per client, per kernel
 constexpr int kSteadyRounds = 16; // per client, per kernel
+
+// Cluster scaling sections.
+constexpr int kClusterClients = 8;  // closed-loop clients
+constexpr int kClusterRounds = 12;  // per client, per kernel
+constexpr int kOpenRequests = 600;  // open-loop arrivals per shard count
+constexpr double kOverloadFactor = 2.0;  // offered / 1-shard capacity
 
 ModuleHandle build_suite() {
   Module suite;
@@ -211,9 +235,149 @@ ConfigReport run_config(const std::string& name, const Engine& engine,
   return report;
 }
 
+// ---------------------------------------------------------- cluster --
+
+struct ClusterReport {
+  size_t shards = 0;
+  // Closed loop.
+  double requests_per_sec = 0.0;       // aggregate wall throughput
+  double per_shard_rps = 0.0;          // req/s-per-shard efficiency column
+  double critical_cycles = 0.0;        // max per-shard sim_cycles
+  double sim_speedup = 0.0;            // vs the 1-shard critical path
+  uint64_t routed_min = 0, routed_max = 0;
+  uint64_t p50_ns = 0, p99_ns = 0;     // server-side submit -> resolve
+  // Open loop (Poisson arrivals at overload).
+  double offered_rps = 0.0;
+  double open_completed_rps = 0.0;
+  uint64_t open_p50_ns = 0, open_p99_ns = 0;
+  uint64_t open_rejected = 0;          // admission-control refusals
+};
+
+Cluster make_cluster(const Engine& engine, const ModuleHandle& suite,
+                     size_t shards) {
+  ClusterOptions opts;
+  opts.shards = shards;
+  // Least-loaded: the consistent-hash policy pins each function to one
+  // shard, so same-function traffic could never scale past 1.
+  opts.routing = RoutingPolicy::LeastLoaded;
+  opts.memory_init = fill_data;
+  return value_or_die(Cluster::create(engine, suite, soc_cores(), opts));
+}
+
+void verify_or_die(const Result<SimResult>& result, const Value& expected) {
+  if (!result.ok() || !result->ok()) {
+    std::fprintf(stderr, "serve_throughput: cluster request failed: %s\n",
+                 result.ok() ? "trap" : result.error_text().c_str());
+    std::abort();
+  }
+  if (!(result->value == expected)) {
+    std::fprintf(stderr, "serve_throughput: cluster BIT DIVERGENCE\n");
+    std::abort();
+  }
+}
+
+/// Closed-loop scaling point: kClusterClients clients drive the fleet;
+/// throughput and latency come from the cluster's own stats, and the
+/// deterministic scaling number is the critical-path simulated cycles
+/// (the busiest shard's sim_cycles).
+void run_cluster_closed(const Engine& engine, const ModuleHandle& suite,
+                        const std::vector<Value>& expected,
+                        ClusterReport& report) {
+  Cluster cluster = make_cluster(engine, suite, report.shards);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  clients.reserve(kClusterClients);
+  for (int t = 0; t < kClusterClients; ++t) {
+    clients.emplace_back([&] {
+      for (int r = 0; r < kClusterRounds; ++r) {
+        for (uint32_t f = 0; f < suite->num_functions(); ++f) {
+          verify_or_die(
+              cluster.submit(suite->function(f).name(), reduce_args()).get(),
+              expected[f]);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  cluster.drain();
+  const double wall_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+
+  const ClusterStats stats = cluster.stats();
+  report.requests_per_sec =
+      wall_s > 0.0 ? static_cast<double>(stats.aggregate.completed) / wall_s
+                   : 0.0;
+  report.per_shard_rps =
+      report.requests_per_sec / static_cast<double>(report.shards);
+  report.p50_ns = stats.aggregate.latency.percentile(0.50);
+  report.p99_ns = stats.aggregate.latency.percentile(0.99);
+  report.routed_min = UINT64_MAX;
+  for (const ShardStats& ss : stats.shards) {
+    report.critical_cycles = std::max(
+        report.critical_cycles, static_cast<double>(ss.server.sim_cycles));
+    report.routed_min = std::min(report.routed_min, ss.routed);
+    report.routed_max = std::max(report.routed_max, ss.routed);
+  }
+}
+
+/// Open-loop overload point: one generator submits kOpenRequests with
+/// exponential inter-arrival gaps at `offered_rps` and never waits;
+/// latency (including queueing) comes from the servers' own histograms.
+void run_cluster_open(const Engine& engine, const ModuleHandle& suite,
+                      const std::vector<Value>& expected, double offered_rps,
+                      ClusterReport& report) {
+  Cluster cluster = make_cluster(engine, suite, report.shards);
+  report.offered_rps = offered_rps;
+  const double mean_gap_s = offered_rps > 0.0 ? 1.0 / offered_rps : 0.0;
+  Rng rng(/*seed=*/123);
+  std::vector<std::future<Result<SimResult>>> futures;
+  std::vector<uint32_t> fns;
+  futures.reserve(kOpenRequests);
+  fns.reserve(kOpenRequests);
+  const auto t0 = std::chrono::steady_clock::now();
+  auto next_arrival = t0;
+  for (int i = 0; i < kOpenRequests; ++i) {
+    const uint32_t f =
+        static_cast<uint32_t>(i) % static_cast<uint32_t>(suite->num_functions());
+    fns.push_back(f);
+    futures.push_back(
+        cluster.submit(suite->function(f).name(), reduce_args()));
+    const double u = std::min(rng.next_f32(), 0.999999f);
+    next_arrival += std::chrono::nanoseconds(static_cast<int64_t>(
+        -mean_gap_s * std::log(1.0 - u) * 1e9));
+    std::this_thread::sleep_until(next_arrival);
+  }
+  cluster.drain();
+  const double wall_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+
+  uint64_t completed = 0;
+  for (int i = 0; i < kOpenRequests; ++i) {
+    Result<SimResult> result = futures[static_cast<size_t>(i)].get();
+    if (!result.ok()) continue;  // admission-control rejection under overload
+    verify_or_die(result, expected[fns[static_cast<size_t>(i)]]);
+    ++completed;
+  }
+  const ClusterStats stats = cluster.stats();
+  report.open_p50_ns = stats.aggregate.latency.percentile(0.50);
+  report.open_p99_ns = stats.aggregate.latency.percentile(0.99);
+  report.open_rejected = stats.aggregate.rejected;
+  report.open_completed_rps =
+      wall_s > 0.0 ? static_cast<double>(completed) / wall_s : 0.0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  size_t max_shards = 4;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--max-shards") == 0) {
+      max_shards = static_cast<size_t>(std::atoi(argv[i + 1]));
+    }
+  }
+
   const ModuleHandle suite = build_suite();
 
   // Sequential reference values (eager, single core): the bits every
@@ -293,11 +457,70 @@ int main() {
               static_cast<unsigned long long>(reports[1].rejected),
               static_cast<unsigned long long>(reports[2].rejected));
 
+  // --- cluster scaling curve: 1 -> N shards -----------------------------
+  std::vector<size_t> shard_counts;
+  for (const size_t n : {size_t{1}, size_t{2}, size_t{4}}) {
+    if (n <= max_shards) shard_counts.push_back(n);
+  }
+  std::vector<ClusterReport> cluster_reports;
+  std::string shard_list;
+  for (const size_t n : shard_counts) {
+    ClusterReport cr;
+    cr.shards = n;
+    run_cluster_closed(eager, suite, expected, cr);
+    cluster_reports.push_back(cr);
+    shard_list += (shard_list.empty() ? "" : ",") + std::to_string(n);
+  }
+  // The deterministic scaling number: critical-path simulated cycles of
+  // the busiest shard, against the 1-shard run. Requests cost identical
+  // cycles on every shard (same eager engine, same kernels), so this
+  // measures routing spread, not host parallelism.
+  const double base_critical = cluster_reports[0].critical_cycles;
+  for (ClusterReport& cr : cluster_reports) {
+    cr.sim_speedup =
+        cr.critical_cycles > 0.0 ? base_critical / cr.critical_cycles : 0.0;
+  }
+  // Open-loop overload: offered load is a fixed multiple of the measured
+  // 1-shard closed-loop throughput, held constant across shard counts.
+  const double offered =
+      kOverloadFactor * cluster_reports[0].requests_per_sec;
+  for (ClusterReport& cr : cluster_reports) {
+    run_cluster_open(eager, suite, expected, offered, cr);
+  }
+
+  std::printf("\ncluster scaling, least-loaded routing, %d closed-loop "
+              "clients (x%d rounds), then %d open-loop Poisson arrivals at "
+              "%.0f req/s offered\n",
+              kClusterClients, kClusterRounds, kOpenRequests, offered);
+  std::printf("%-7s %10s %11s %13s %9s %13s %10s %10s %9s\n", "shards",
+              "req/s", "req/s/shard", "crit Mcycles", "speedup",
+              "routed min/max", "open p50us", "open p99us", "open rej");
+  print_rule(100);
+  for (const ClusterReport& cr : cluster_reports) {
+    std::printf("%-7zu %10.0f %11.0f %13.2f %8.2fx %6llu/%-6llu %10.1f "
+                "%10.1f %9llu\n",
+                cr.shards, cr.requests_per_sec, cr.per_shard_rps,
+                cr.critical_cycles / 1e6, cr.sim_speedup,
+                static_cast<unsigned long long>(cr.routed_min),
+                static_cast<unsigned long long>(cr.routed_max),
+                static_cast<double>(cr.open_p50_ns) / 1000.0,
+                static_cast<double>(cr.open_p99_ns) / 1000.0,
+                static_cast<unsigned long long>(cr.open_rejected));
+  }
+  print_rule(100);
+  const ClusterReport& last = cluster_reports.back();
+  std::printf("%zu-shard critical-path speedup vs 1 shard: %.2fx "
+              "(deterministic simulated cycles; wall req/s is "
+              "host-dependent)\n",
+              last.shards, last.sim_speedup);
+  if (last.shards >= 4 && last.sim_speedup < 2.5) {
+    std::fprintf(stderr, "serve_throughput: 4-shard scaling below 2.5x\n");
+    return 1;
+  }
+
   // Machine-readable trajectory (docs/BENCHMARKS.md). Wall-clock numbers
   // are host-dependent; mean_cycles is the deterministic column.
   std::vector<BenchMetric> metrics;
-  metrics.emplace_back("clients", kClients);
-  metrics.emplace_back("steady_rounds", kSteadyRounds);
   for (const ConfigReport& r : reports) {
     metrics.emplace_back(r.name + ".requests_per_sec", r.requests_per_sec);
     metrics.emplace_back(r.name + ".p50_us",
@@ -313,6 +536,40 @@ int main() {
     metrics.emplace_back(r.name + ".requests_to_tier1",
                          static_cast<double>(r.requests_to_tier1));
   }
-  bench_report("serve", metrics);
+  for (const ClusterReport& cr : cluster_reports) {
+    const std::string key = "cluster_closed.shards" + std::to_string(cr.shards);
+    metrics.emplace_back(key + ".requests_per_sec", cr.requests_per_sec);
+    metrics.emplace_back(key + ".requests_per_sec_per_shard",
+                         cr.per_shard_rps);
+    metrics.emplace_back(key + ".p50_us",
+                         static_cast<double>(cr.p50_ns) / 1000.0);
+    metrics.emplace_back(key + ".p99_us",
+                         static_cast<double>(cr.p99_ns) / 1000.0);
+    metrics.emplace_back(key + ".critical_cycles", cr.critical_cycles);
+    metrics.emplace_back(key + ".sim_speedup_vs_1", cr.sim_speedup);
+    metrics.emplace_back(key + ".routed_min",
+                         static_cast<double>(cr.routed_min));
+    metrics.emplace_back(key + ".routed_max",
+                         static_cast<double>(cr.routed_max));
+    const std::string open = "cluster_open.shards" + std::to_string(cr.shards);
+    metrics.emplace_back(open + ".offered_rps", cr.offered_rps);
+    metrics.emplace_back(open + ".completed_rps", cr.open_completed_rps);
+    metrics.emplace_back(open + ".p50_us",
+                         static_cast<double>(cr.open_p50_ns) / 1000.0);
+    metrics.emplace_back(open + ".p99_us",
+                         static_cast<double>(cr.open_p99_ns) / 1000.0);
+    metrics.emplace_back(open + ".rejected",
+                         static_cast<double>(cr.open_rejected));
+  }
+  bench_report("serve",
+               {{"clients", std::to_string(kClients)},
+                {"steady_rounds", std::to_string(kSteadyRounds)},
+                {"cluster_clients", std::to_string(kClusterClients)},
+                {"cluster_rounds", std::to_string(kClusterRounds)},
+                {"shard_counts", shard_list},
+                {"open_requests", std::to_string(kOpenRequests)},
+                {"overload_factor", std::to_string(kOverloadFactor)},
+                {"routing", "least_loaded"}},
+               metrics);
   return 0;
 }

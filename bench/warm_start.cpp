@@ -349,7 +349,11 @@ int main(int argc, char** argv) {
   bench_report(
       "warmstart",
       {
-          {"functions", static_cast<double>(n_functions)},
+          {"functions", std::to_string(n_functions)},
+          {"elems", std::to_string(kElems)},
+          {"clones", std::to_string(kClones)},
+      },
+      {
           {"x86sim.cold.warmup_ms", cold.warmup_ms},
           {"x86sim.cold.compiles", static_cast<double>(cold.compiles)},
           {"x86sim.cold.disk_writes",

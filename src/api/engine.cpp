@@ -106,6 +106,11 @@ Engine::Builder& Engine::Builder::serving(const ServerOptions& options) {
   return *this;
 }
 
+Engine::Builder& Engine::Builder::cluster(const ClusterOptions& options) {
+  options_.cluster = options;
+  return *this;
+}
+
 Engine::Builder& Engine::Builder::with_profile(ModuleHandle profiled) {
   profile_ = std::move(profiled);
   return *this;
@@ -190,6 +195,7 @@ Result<Engine> Engine::Builder::build() const {
   }
 
   validate_server_options(options.server, problems);
+  validate_cluster_options(options.cluster, problems);
 
   if (!problems.empty()) return Result<Engine>::failure(std::move(problems));
   return Engine(std::move(options), profile_);

@@ -38,6 +38,7 @@
 #include "api/module_handle.h"
 #include "driver/offline_compiler.h"
 #include "runtime/soc.h"
+#include "serve/cluster_options.h"
 #include "serve/server_options.h"
 #include "support/result.h"
 
@@ -74,6 +75,9 @@ struct EngineOptions {
   // serve/server.h: worker count, per-core queue depth (the
   // admission-control watermark), and the per-drain batch bound.
   ServerOptions server;
+  // Sharded serving (svc::Cluster) knobs, consumed by serve_cluster() in
+  // serve/cluster.h: shard count, routing policy, profile-merge cadence.
+  ClusterOptions cluster;
 };
 
 /// The embeddable facade: one immutable object holding the validated
@@ -190,6 +194,13 @@ class Engine::Builder {
   /// queue_depth (admission-control watermark), batch_max (requests
   /// coalesced per drain). Validated at build().
   Builder& serving(const ServerOptions& options);
+
+  /// Knobs for svc::Cluster when the engine's deployments are served as
+  /// a sharded fleet via serve_cluster() (serve/cluster.h): shard count,
+  /// routing policy (consistent-hash or least-loaded), virtual-node
+  /// count, load-EWMA smoothing, cross-shard profile-merge cadence, and
+  /// the per-shard memory initializer. Validated at build().
+  Builder& cluster(const ClusterOptions& options);
 
   // --- feedback loop ---
   /// Imports a profile-annotated module (Deployment::export_profile or a

@@ -7,7 +7,10 @@
 //     compile -> deploy -> profile -> recompile loop
 //   - the serving layer: svc::Server + serve() (serve/server.h),
 //     concurrent request serving over a Deployment with per-core
-//     queueing, admission control and latency/throughput stats
+//     queueing, admission control and latency/throughput stats; and
+//     svc::Cluster + serve_cluster() (serve/cluster.h), the sharded
+//     multi-Deployment front-end with load-aware routing, rolling
+//     restarts and cross-shard profile merging
 //   - the subsystems the facade is built from, re-exported for advanced
 //     embedders: the offline/online drivers, the Soc runtime and its
 //     shared CodeCache, the annotation-driven mapper, the iterative
@@ -25,7 +28,10 @@
 #include "api/module_handle.h"
 #include "support/result.h"
 
-// The serving layer (svc::Server, ServerOptions, ServerStats, serve()).
+// The serving layer (svc::Server, ServerOptions, ServerStats, serve()),
+// plus its sharded front-end (svc::Cluster, ClusterOptions, ClusterStats,
+// serve_cluster()).
+#include "serve/cluster.h"
 #include "serve/server.h"
 
 // Re-exported subsystems (the facade's vocabulary types live here:

@@ -246,6 +246,11 @@ ProfileData OnlineTarget::profile() const {
   return profile_;
 }
 
+void OnlineTarget::seed_profile(const ProfileData& seed) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  seed_profile_ = seed;
+}
+
 Module OnlineTarget::export_profiled_module() const {
   if (!module_) fatal("OnlineTarget::export_profiled_module before load");
   std::lock_guard<std::mutex> lock(mutex_);
@@ -291,10 +296,15 @@ void OnlineTarget::request_tier2_locked(uint32_t func_idx) {
   st.tier2_requested = true;
   // Freeze the profile the re-specialization is derived from: the hash
   // keys the cache entry, so later observations produce a *different*
-  // tier-2 artifact instead of silently aliasing this one.
-  const ProfileInfo profile = func_idx < profile_.num_functions()
-                                  ? profile_.function(func_idx)
-                                  : ProfileInfo{};
+  // tier-2 artifact instead of silently aliasing this one. Own
+  // observations plus the externally seeded baseline (seed_profile), so
+  // a cluster-seeded target specializes for fleet traffic.
+  ProfileInfo profile = func_idx < profile_.num_functions()
+                            ? profile_.function(func_idx)
+                            : ProfileInfo{};
+  if (func_idx < seed_profile_.num_functions()) {
+    profile.merge(seed_profile_.function(func_idx));
+  }
   const JitOptions tier2 = derive_tier2_options(
       jit_.options(), desc_, module_->function(func_idx), profile);
   const uint64_t profile_hash = profile.hash();

@@ -160,8 +160,20 @@ class OnlineTarget {
   [[nodiscard]] size_t tier2_functions() const;
 
   /// Snapshot of the runtime profile collected so far (empty unless the
-  /// target runs tiered with config.profile).
+  /// target runs tiered with config.profile). Own observations only: an
+  /// externally seeded baseline (seed_profile) is never included, so
+  /// merging targets' profiles across cores, Socs, or cluster shards
+  /// never double-counts.
   [[nodiscard]] ProfileData profile() const;
+
+  /// Installs an external baseline profile -- typically the fleet-wide
+  /// merge a svc::Cluster computed over its *other* shards
+  /// (merge_profiles in vm/profile.h). Tier-2 re-specialization derives
+  /// its options from own + seed, so a function promoted here is
+  /// specialized for aggregate fleet traffic rather than this target's
+  /// slice; profile() and export_profiled_module() keep reporting own
+  /// observations only. Replaces any previous seed. Thread-safe.
+  void seed_profile(const ProfileData& seed);
 
   /// Copy of the loaded module with the collected profile attached as
   /// Profile annotations -- the export half of the feedback loop; feed it
@@ -224,6 +236,9 @@ class OnlineTarget {
   // Fallback tier-0 stream cache when config_.predecode is not set.
   PredecodeCache predecode_;
   ProfileData profile_;
+  // External baseline merged into tier-2 derivation only (seed_profile);
+  // excluded from profile() so cross-collector merges stay exact.
+  ProfileData seed_profile_;
   uint64_t interpreted_calls_ = 0;
   uint64_t jitted_calls_ = 0;
   uint64_t tier2_calls_ = 0;

@@ -85,9 +85,19 @@ Soc::CoreCounters Soc::core_counters(size_t c) const {
 }
 
 ProfileData Soc::profile() const {
-  ProfileData merged;
-  for (const auto& core : cores_) merged.merge(core->profile());
-  return merged;
+  // Snapshot each core under its own lock, then merge the snapshots with
+  // the same n-way merge the cluster uses across Socs (vm/profile.h).
+  std::vector<ProfileData> snapshots;
+  snapshots.reserve(cores_.size());
+  for (const auto& core : cores_) snapshots.push_back(core->profile());
+  std::vector<const ProfileData*> parts;
+  parts.reserve(snapshots.size());
+  for (const ProfileData& snap : snapshots) parts.push_back(&snap);
+  return merge_profiles(parts);
+}
+
+void Soc::seed_profile(const ProfileData& seed) {
+  for (const auto& core : cores_) core->seed_profile(seed);
 }
 
 Module Soc::export_profiled_module() const {

@@ -129,6 +129,13 @@ class Soc {
   /// snapshot).
   [[nodiscard]] ProfileData profile() const;
 
+  /// Installs an external baseline profile on every core
+  /// (OnlineTarget::seed_profile): tier-2 re-specialization then derives
+  /// from own + seed, while profile() keeps reporting own observations
+  /// only. This is how a svc::Cluster makes each shard specialize for
+  /// aggregate fleet traffic. Replaces any previous seed; thread-safe.
+  void seed_profile(const ProfileData& seed);
+
   /// Copy of the loaded module carrying the merged profile as Profile
   /// annotations -- what a deployed SoC ships back to the offline tuner
   /// (serialize it like any deployment image). Same concurrency contract

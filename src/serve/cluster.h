@@ -1,0 +1,188 @@
+// svc::Cluster -- sharded multi-Deployment serving: the front-end that
+// turns N independent svc::Servers into one logical endpoint. Each shard
+// is a full Deployment (own Soc, own Server, own linear memory) deployed
+// from one Engine, so every shard shares the engine's cache budget
+// policy and persistent on-disk code store; what the cluster adds on top
+// is
+//
+//   routing     submit(fn, args) picks a shard by policy
+//               (serve/cluster_options.h): consistent-hash on the
+//               function name (function affinity, minimal re-routing on
+//               membership change) or least-loaded (live in-flight EWMA,
+//               same-function throughput scales with the shard count).
+//   health      every shard is Serving, Draining, or Down. Routing only
+//               considers Serving shards; drain(shard) and
+//               restart(shard) move a shard through the lifecycle for
+//               rolling restarts -- traffic re-routes, nothing accepted
+//               is lost, and a restarted shard re-warms from the
+//               persistent store (zero JIT compiles on a warm store).
+//   profiles    merge_profiles() folds every shard's runtime profile
+//               into the fleet-wide aggregate (vm/profile.h,
+//               merge_profiles) and seeds each shard with the traffic
+//               the *other* shards saw, so tier-2 re-specialization
+//               reacts to aggregate fleet behavior instead of one
+//               shard's slice. Runs automatically every
+//               profile_merge_interval accepted requests when
+//               configured.
+//   stats       ClusterStats: routing counters, per-shard health +
+//               ServerStats, and the fleet-wide aggregate_server_stats
+//               fold (serve/server_stats.h).
+//
+// Determinism: requests produce bit-identical SimResults no matter which
+// shard serves them -- shards run the same module through the same
+// engine configuration -- so routing policy affects latency and
+// throughput, never results (tests/cluster_test.cpp holds this across
+// all four simulator targets).
+//
+// Thread-safety: submit(), drain(), stats(), warm_up() and
+// merge_profiles() are safe from any thread. drain(shard) and
+// restart(shard) are serialized against each other internally and safe
+// concurrently with traffic. The Cluster is move-only; destruction
+// drains and joins every shard.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "api/engine.h"
+#include "serve/cluster_options.h"
+#include "serve/server.h"
+#include "serve/server_stats.h"
+#include "support/result.h"
+#include "vm/profile.h"
+
+namespace svc {
+
+/// Lifecycle state of one shard. Routing only targets Serving shards.
+enum class ShardHealth : uint8_t {
+  Serving,   // accepting routed traffic
+  Draining,  // finishing accepted work; new traffic re-routes to peers
+  Down,      // no Server (mid-restart, or restart failed)
+};
+
+/// One shard's slice of ClusterStats.
+struct ShardStats {
+  size_t shard = 0;
+  ShardHealth health = ShardHealth::Serving;
+  uint64_t routed = 0;    // requests this cluster routed to the shard
+  uint64_t restarts = 0;  // completed restart() cycles
+  ServerStats server;     // the shard's own Server::stats() snapshot
+};
+
+/// Snapshot of a cluster's counters: cluster-level routing totals, the
+/// fleet-wide fold of every shard's ServerStats, and per-shard detail.
+/// After drain(): submitted == routed + rejected_unroutable, and
+/// aggregate.completed == sum over shards of their completed counts.
+struct ClusterStats {
+  uint64_t submitted = 0;             // every submit() call
+  uint64_t routed = 0;                // handed to some shard's Server
+  uint64_t rejected_unroutable = 0;   // no Serving shard available
+  uint64_t profile_merges = 0;        // cross-shard merge rounds so far
+  ServerStats aggregate;              // aggregate_server_stats over shards
+  std::vector<ShardStats> shards;
+};
+
+class Cluster {
+ public:
+  /// Deploys `module` onto `options.shards` shards -- each one
+  /// Deployment of `shard_cores` with `engine`'s runtime configuration,
+  /// served by its own Server with the engine's ServerOptions -- and
+  /// starts routing. `options.memory_init` (when set) runs on each
+  /// shard's linear memory before it serves. Fails without starting
+  /// anything on invalid options or a failed shard deploy; every
+  /// problem is reported.
+  [[nodiscard]] static Result<Cluster> create(const Engine& engine,
+                                              const ModuleHandle& module,
+                                              std::vector<CoreSpec> shard_cores,
+                                              ClusterOptions options = {});
+
+  Cluster(Cluster&&) noexcept;
+  Cluster& operator=(Cluster&&) noexcept;
+
+  /// Drains and destroys every shard. Futures already handed out stay
+  /// valid and are resolved by the time the destructor returns.
+  ~Cluster();
+
+  /// Routes one request to a Serving shard and submits it there. The
+  /// future carries the shard Server's verdict (serve/server.h:
+  /// SimResult, admission-control rejection, or unknown function); when
+  /// no shard is Serving the future resolves immediately with an
+  /// unroutable error. Safe from any thread, including concurrently
+  /// with drain()/restart().
+  [[nodiscard]] std::future<Result<SimResult>> submit(
+      std::string_view function, std::vector<Value> args);
+
+  /// Blocks until every request accepted so far, on every shard, has
+  /// completed. Health states are not changed.
+  void drain();
+
+  /// Takes `shard` out of routing (-> Draining) and blocks until the
+  /// requests it already accepted have completed. Under live traffic
+  /// nothing is lost: a submit either enqueued before the shard left
+  /// Serving (drain waits for it) or re-routes to a peer. The shard
+  /// stays Draining -- and keeps honoring direct Server traffic --
+  /// until restart(shard) brings it back. Fails on an out-of-range
+  /// shard or one that is Down.
+  [[nodiscard]] Result<void> drain(size_t shard);
+
+  /// Rolling-restart step: drains `shard` (-> Down), destroys its
+  /// Server and Deployment, re-deploys from the engine (re-applying
+  /// memory_init), re-seeds it with the other shards' merged profile,
+  /// re-warms it -- from the persistent store when the engine has one,
+  /// so a warm store means zero JIT compiles -- and returns it to
+  /// Serving. Concurrent restarts/drains of other shards are
+  /// serialized; traffic keeps flowing to the peers throughout. On a
+  /// failed re-deploy the shard stays Down and the error is returned.
+  [[nodiscard]] Result<void> restart(size_t shard);
+
+  /// Warms every non-Down shard (Deployment::warm_up) and blocks until
+  /// all are fully warm. With a persistent store this also populates it,
+  /// which is what makes a later restart() compile-free.
+  void warm_up();
+
+  /// One cross-shard profile merge round: snapshots every shard's own
+  /// observed profile, seeds each shard with the merge of its *peers'*
+  /// profiles (Soc::seed_profile -- own observations are never
+  /// double-counted, so repeated rounds stay idempotent on quiesced
+  /// traffic), and returns the fleet-wide aggregate. Meaningful when
+  /// the engine was built with profiling(); otherwise the result is
+  /// empty. Runs automatically every profile_merge_interval accepted
+  /// requests when that option is nonzero.
+  ProfileData merge_profiles();
+
+  /// Copy of the module annotated with the fleet-wide merged profile
+  /// (every shard's traffic, one Profile annotation set): feed it to
+  /// Engine::Builder::with_profile to close the loop at fleet scope.
+  [[nodiscard]] ModuleHandle export_profile() const;
+
+  [[nodiscard]] Result<ShardHealth> shard_health(size_t shard) const;
+
+  /// The shard consistent-hash routing sends `function` to while all
+  /// shards are Serving (the ring answer; Draining/Down shards re-route
+  /// at submit time). Fails when the cluster routes LeastLoaded --
+  /// there is no static answer then.
+  [[nodiscard]] Result<size_t> routed_shard(std::string_view function) const;
+
+  [[nodiscard]] size_t num_shards() const;
+  [[nodiscard]] const ClusterOptions& options() const;
+
+  [[nodiscard]] ClusterStats stats() const;
+
+ private:
+  struct Impl;
+  explicit Cluster(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Convenience composition of the facade: deploys and serves `module`
+/// as a cluster of engine.options().cluster.shards shards, each on
+/// `shard_cores`, with the engine's ClusterOptions
+/// (Engine::Builder::cluster).
+[[nodiscard]] Result<Cluster> serve_cluster(const Engine& engine,
+                                            const ModuleHandle& module,
+                                            std::vector<CoreSpec> shard_cores);
+
+}  // namespace svc

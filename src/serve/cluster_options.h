@@ -1,0 +1,94 @@
+// ClusterOptions: the sharded-serving knobs of the embeddable API. Kept
+// in its own near-dependency-free header for the same reason as
+// server_options.h: Engine::Builder records and validates it
+// (api/engine.h, Builder::cluster) and svc::Cluster consumes and
+// re-validates it (serve/cluster.h) -- without api and serve including
+// each other, and with both validations sharing the one rule set below.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "support/diagnostics.h"
+
+namespace svc {
+
+class Memory;
+
+/// How a Cluster picks the shard that serves a request.
+enum class RoutingPolicy : uint8_t {
+  /// Hash the function name onto a ring of virtual nodes and walk to the
+  /// first Serving shard. A function sticks to one shard (its tier
+  /// counters concentrate, its code stays hot there), and
+  /// draining/downing a shard only re-routes the functions that lived on
+  /// it -- the classic consistent-hashing stability property.
+  ConsistentHash,
+  /// Route each request to the shard with the lowest in-flight load
+  /// (EWMA over Server::inflight, smoothed by
+  /// ClusterOptions::load_ewma_alpha). Ties break round-robin, so idle
+  /// fleets still spread traffic instead of piling onto shard 0. Same-
+  /// function traffic scales with the shard count; function affinity is
+  /// given up in exchange.
+  LeastLoaded,
+};
+
+/// Configuration of a svc::Cluster. Validated by Cluster::create (and
+/// again, all problems at once, by Engine::Builder::build when set
+/// through Builder::cluster).
+struct ClusterOptions {
+  /// Number of Deployment shards (each with its own Soc, Server and
+  /// linear memory; all sharing the engine's cache budget policy and
+  /// persistent cache directory). Must be at least 1.
+  size_t shards = 2;
+
+  RoutingPolicy routing = RoutingPolicy::ConsistentHash;
+
+  /// Ring points per shard for ConsistentHash routing (more points =
+  /// smoother function spread across shards). Must be at least 1.
+  size_t virtual_nodes = 16;
+
+  /// Smoothing factor of the per-shard in-flight EWMA behind LeastLoaded
+  /// routing: score = alpha * inflight_now + (1 - alpha) * score. Must
+  /// be in (0, 1].
+  double load_ewma_alpha = 0.25;
+
+  /// Merge the shards' runtime profiles every this many accepted
+  /// requests, re-seeding every shard with the fleet-wide aggregate so
+  /// tier-2 re-specialization sees cluster traffic, not just the slice
+  /// one shard happened to serve (see Cluster::merge_profiles). 0 =
+  /// merge only when Cluster::merge_profiles() is called explicitly.
+  uint64_t profile_merge_interval = 0;
+
+  /// Applied to each shard's linear memory right after deploy -- at
+  /// create() and again on every restart(), so a restarted shard comes
+  /// back with the same initial memory image as its peers. Empty =
+  /// memory starts zeroed.
+  std::function<void(Memory&)> memory_init;
+};
+
+/// The single rule set behind both validation entry points
+/// (Engine::Builder::build and Cluster::create): appends one diagnostic
+/// per invalid field to `problems`.
+inline void validate_cluster_options(const ClusterOptions& options,
+                                     std::vector<Diagnostic>& problems) {
+  const auto problem = [&problems](std::string message) {
+    problems.push_back({Severity::Error, {}, std::move(message)});
+  };
+  if (options.shards == 0) {
+    problem("ClusterOptions::shards must be at least 1 (each shard is one "
+            "Deployment with its own Server)");
+  }
+  if (options.virtual_nodes == 0) {
+    problem("ClusterOptions::virtual_nodes must be at least 1 (ring points "
+            "per shard for consistent-hash routing)");
+  }
+  if (!(options.load_ewma_alpha > 0.0) || options.load_ewma_alpha > 1.0) {
+    problem("ClusterOptions::load_ewma_alpha must be in (0, 1] (EWMA "
+            "smoothing factor of the least-loaded router)");
+  }
+}
+
+}  // namespace svc

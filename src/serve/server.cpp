@@ -50,6 +50,7 @@ struct Server::Impl {
     std::atomic<uint64_t> executed{0};
     std::atomic<uint64_t> batches{0};
     std::atomic<uint64_t> rejected{0};
+    std::atomic<uint64_t> sim_cycles{0};
   };
 
   /// Per-worker wake-up state: the epoch advances under `mu` on every
@@ -243,6 +244,7 @@ struct Server::Impl {
     shard.latency.record(ns);
     latency_.record(ns);
     cores_[core]->executed.fetch_add(1, kRelaxed);
+    cores_[core]->sim_cycles.fetch_add(sim.stats.cycles, kRelaxed);
     completed_.fetch_add(1, kRelaxed);
     // Resolve the caller's future before releasing drain(): when drain
     // returns, every accepted future is ready.
@@ -279,11 +281,13 @@ struct Server::Impl {
       cs.batches = shard.batches.load(kRelaxed);
       cs.rejected = shard.rejected.load(kRelaxed);
       cs.peak_queue_depth = shard.queue.peak_depth();
+      cs.sim_cycles = shard.sim_cycles.load(kRelaxed);
       const Soc::CoreCounters counters = soc.core_counters(c);
       cs.interpreted_calls = counters.interpreted;
       cs.jitted_calls = counters.jitted;
       cs.tier2_calls = counters.tier2;
       s.batches += cs.batches;
+      s.sim_cycles += cs.sim_cycles;
       s.cores.push_back(cs);
     }
 
@@ -356,6 +360,11 @@ std::future<Result<SimResult>> Server::submit(std::string_view function,
 void Server::drain() { impl_->drain(); }
 
 ServerStats Server::stats() const { return impl_->stats(); }
+
+uint64_t Server::inflight() const {
+  std::lock_guard<std::mutex> lock(impl_->idle_mu_);
+  return impl_->pending_;
+}
 
 Result<size_t> Server::routed_core(std::string_view function) const {
   const auto idx = impl_->module_->find_function(function);

@@ -87,6 +87,12 @@ class Server {
   /// once traffic has quiesced (e.g. right after drain()).
   [[nodiscard]] ServerStats stats() const;
 
+  /// Accepted-but-unresolved requests right now (queued + mid-execution).
+  /// Cheap -- one counter read, no snapshot -- so a load-aware router
+  /// (svc::Cluster's least-loaded policy) can consult it per decision.
+  /// Safe from any thread; instantaneous, not monotone.
+  [[nodiscard]] uint64_t inflight() const;
+
   /// The core requests for `function` route to (fixed at creation), or
   /// an error for an unknown name.
   [[nodiscard]] Result<size_t> routed_core(std::string_view function) const;

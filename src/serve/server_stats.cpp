@@ -1,0 +1,46 @@
+#include "serve/server_stats.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace svc {
+
+ServerStats aggregate_server_stats(std::span<const ServerStats> shards) {
+  ServerStats total;
+  std::unordered_map<std::string, size_t> fn_row;  // name -> total.functions
+  for (const ServerStats& shard : shards) {
+    total.submitted += shard.submitted;
+    total.accepted += shard.accepted;
+    total.rejected += shard.rejected;
+    total.invalid += shard.invalid;
+    total.completed += shard.completed;
+    total.batches += shard.batches;
+    total.sim_cycles += shard.sim_cycles;
+    total.wall_seconds = std::max(total.wall_seconds, shard.wall_seconds);
+    total.latency.merge(shard.latency);
+    total.cache.merge(shard.cache);
+    for (const FunctionServeStats& fs : shard.functions) {
+      const auto [it, inserted] =
+          fn_row.try_emplace(fs.name, total.functions.size());
+      if (inserted) {
+        total.functions.push_back(fs);
+        continue;
+      }
+      FunctionServeStats& row = total.functions[it->second];
+      row.accepted += fs.accepted;
+      row.rejected += fs.rejected;
+      row.completed += fs.completed;
+      row.tier0 += fs.tier0;
+      row.tier1 += fs.tier1;
+      row.tier2 += fs.tier2;
+      row.latency.merge(fs.latency);
+    }
+  }
+  total.requests_per_sec =
+      total.wall_seconds > 0.0
+          ? static_cast<double>(total.completed) / total.wall_seconds
+          : 0.0;
+  return total;
+}
+
+}  // namespace svc

@@ -8,6 +8,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -43,6 +44,10 @@ struct CoreServeStats {
   uint64_t batches = 0;   // drains (executed / batches = mean batch size)
   uint64_t rejected = 0;  // admission-control refusals at this shard
   uint64_t peak_queue_depth = 0;
+  // Simulated cycles of the requests this shard completed: the
+  // deterministic busy-time of the core, host-independent. A scaling
+  // bench's bottleneck shard is max(sim_cycles) over shards.
+  uint64_t sim_cycles = 0;
   uint64_t interpreted_calls = 0;
   uint64_t jitted_calls = 0;
   uint64_t tier2_calls = 0;
@@ -61,6 +66,9 @@ struct ServerStats {
   uint64_t invalid = 0;    // refused: unknown function name
   uint64_t completed = 0;  // futures resolved with a SimResult
   uint64_t batches = 0;
+  // Simulated cycles summed over completed requests (deterministic,
+  // host-independent; == sum(cores[i].sim_cycles)).
+  uint64_t sim_cycles = 0;
 
   /// Wall-clock seconds since the server started serving.
   double wall_seconds = 0.0;
@@ -78,5 +86,18 @@ struct ServerStats {
   /// cache.bytes).
   Statistics cache;
 };
+
+/// Folds any number of per-server snapshots (e.g. a cluster's shards)
+/// into one fleet-wide view: totals and cache counters sum, latency
+/// histograms merge bucket-wise (exact for the combined stream -- see
+/// LatencyHistogram::Snapshot::merge), per-function rows merge by name
+/// (a function served by several shards becomes one row; its `core` is
+/// the routed core on the first shard that served it), wall_seconds is
+/// the max (shards serve concurrently), and requests_per_sec is
+/// recomputed from the merged totals. Per-core rows are NOT aggregated
+/// -- core indices only mean something within one server, so the result
+/// carries no `cores`; per-shard detail stays with the inputs.
+[[nodiscard]] ServerStats aggregate_server_stats(
+    std::span<const ServerStats> shards);
 
 }  // namespace svc

@@ -27,6 +27,15 @@ uint64_t LatencyHistogram::Snapshot::percentile(double q) const {
   return max;
 }
 
+void LatencyHistogram::Snapshot::merge(const Snapshot& other) {
+  if (other.count == 0) return;
+  min = count == 0 ? other.min : std::min(min, other.min);
+  max = std::max(max, other.max);
+  count += other.count;
+  sum += other.sum;
+  for (size_t b = 0; b < kBuckets; ++b) buckets[b] += other.buckets[b];
+}
+
 LatencyHistogram::Snapshot LatencyHistogram::snapshot() const {
   Snapshot snap;
   snap.count = count_.load(std::memory_order_relaxed);

@@ -45,6 +45,15 @@ class LatencyHistogram {
     /// geometric midpoint of the bucket holding the q-th sample, clamped
     /// to the observed [min, max]. 0 when empty.
     [[nodiscard]] uint64_t percentile(double q) const;
+
+    /// Accumulates `other` into this snapshot: buckets, count and sum
+    /// add, min/max widen. Because the buckets are position-aligned
+    /// (bucket b always holds [2^(b-1), 2^b - 1]), the merged snapshot
+    /// is exactly the histogram of the combined sample stream --
+    /// percentiles over a merge are as accurate as over a single
+    /// recorder (bucket resolution), which is what lets a cluster fold
+    /// per-shard latency into one fleet-wide p50/p99.
+    void merge(const Snapshot& other);
   };
 
   /// Files one sample. Wait-free; safe from any thread.

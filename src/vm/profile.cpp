@@ -27,6 +27,14 @@ void ProfileData::record_op(uint32_t fn, Opcode op) {
   }
 }
 
+ProfileData merge_profiles(std::span<const ProfileData* const> parts) {
+  ProfileData merged;
+  for (const ProfileData* part : parts) {
+    if (part) merged.merge(*part);
+  }
+  return merged;
+}
+
 Module attach_profile(const Module& module, const ProfileData& profile) {
   Module out = module;
   for (uint32_t i = 0; i < out.num_functions(); ++i) {

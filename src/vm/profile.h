@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "bytecode/annotations.h"
@@ -58,6 +59,17 @@ class ProfileData {
  private:
   std::vector<ProfileInfo> fns_;
 };
+
+/// Merges any number of profile snapshots into one aggregate view: the
+/// result covers the union of the inputs' function ranges, with each
+/// function's record accumulated across every input (the semantics of
+/// ProfileData::merge, applied n-ways). This is the one merge behind
+/// every multi-collector view -- a Soc merging its per-core collectors
+/// (Soc::profile) and a svc::Cluster merging its per-shard Socs into the
+/// fleet-wide profile tier-2 re-specialization is seeded from. Null
+/// entries are skipped.
+[[nodiscard]] ProfileData merge_profiles(
+    std::span<const ProfileData* const> parts);
 
 /// Copy of `module` with each function's Profile annotation replaced by
 /// the collected record (functions with empty profiles carry none). This
