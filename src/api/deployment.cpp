@@ -45,7 +45,8 @@ Result<SimResult> Deployment::run(std::string_view name,
 }
 
 Result<SimResult> Deployment::run_on(size_t core, std::string_view name,
-                                     const std::vector<Value>& args) {
+                                     const std::vector<Value>& args,
+                                     uint64_t step_budget) {
   if (core >= soc_->num_cores()) {
     return Result<SimResult>::failure(
         "Deployment::run_on: core " + std::to_string(core) +
@@ -57,7 +58,7 @@ Result<SimResult> Deployment::run_on(size_t core, std::string_view name,
                                       std::string(name) + "' in module '" +
                                       module_.name() + "'");
   }
-  return soc_->run_on(core, name, args);
+  return soc_->run_on(core, name, args, step_budget);
 }
 
 std::future<void> Deployment::warm_up() {

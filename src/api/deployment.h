@@ -59,9 +59,13 @@ class Deployment {
                                       const std::vector<Value>& args);
 
   /// Runs `name` on core `core`. Fails on an out-of-range core or an
-  /// unknown function name.
-  [[nodiscard]] Result<SimResult> run_on(size_t core, std::string_view name,
-                                         const std::vector<Value>& args);
+  /// unknown function name. `step_budget` bounds the execution: past it
+  /// the run returns a StepBudgetExceeded trap instead of looping
+  /// forever (the differential fuzz harness leans on this to keep
+  /// runaway reduction candidates cheap).
+  [[nodiscard]] Result<SimResult> run_on(
+      size_t core, std::string_view name, const std::vector<Value>& args,
+      uint64_t step_budget = uint64_t{1} << 32);
 
   /// Asynchronously compiles every function on every core (through the
   /// shared cache, so same-ISA cores coalesce). The returned future

@@ -21,6 +21,32 @@ class Parser {
   }
 
  private:
+  // Recursion guard: expressions, statements and blocks all recurse, so a
+  // pathological-but-lexable input ("((((...", 10k nested ifs) would
+  // otherwise overflow the C++ stack -- an abort, which user input must
+  // never cause (the fuzz harness feeds exactly these shapes; see
+  // src/fuzz). The cap is far above anything a real kernel needs.
+  static constexpr uint32_t kMaxNestingDepth = 200;
+
+  class DepthGuard {
+   public:
+    DepthGuard(Parser& p, bool& ok) : p_(p) {
+      ok = ++p_.depth_ <= kMaxNestingDepth;
+      if (!ok && !p_.depth_reported_) {
+        p_.depth_reported_ = true;
+        p_.diags_.error(p_.cur().loc,
+                        "nesting too deep (limit " +
+                            std::to_string(kMaxNestingDepth) + ")");
+      }
+    }
+    ~DepthGuard() { --p_.depth_; }
+    DepthGuard(const DepthGuard&) = delete;
+    DepthGuard& operator=(const DepthGuard&) = delete;
+
+   private:
+    Parser& p_;
+  };
+
   const Token& cur() const { return tokens_[pos_]; }
   bool at(Tok t) const { return cur().kind == t; }
   Token take() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
@@ -108,6 +134,9 @@ class Parser {
   }
 
   std::optional<std::vector<StmtPtr>> parse_block() {
+    bool depth_ok = false;
+    const DepthGuard guard(*this, depth_ok);
+    if (!depth_ok) return std::nullopt;
     if (!expect(Tok::LBrace)) return std::nullopt;
     std::vector<StmtPtr> stmts;
     while (!at(Tok::RBrace) && !at(Tok::Eof)) {
@@ -120,6 +149,9 @@ class Parser {
   }
 
   std::optional<StmtPtr> parse_stmt() {
+    bool depth_ok = false;
+    const DepthGuard guard(*this, depth_ok);
+    if (!depth_ok) return std::nullopt;
     const SourceLoc loc = cur().loc;
     if (at(Tok::KwVar)) {
       take();
@@ -217,6 +249,9 @@ class Parser {
   }
 
   std::optional<StmtPtr> parse_if() {
+    bool depth_ok = false;
+    const DepthGuard guard(*this, depth_ok);
+    if (!depth_ok) return std::nullopt;
     const SourceLoc loc = cur().loc;
     take();  // if
     auto s = std::make_unique<Stmt>();
@@ -269,7 +304,12 @@ class Parser {
   }
 
   // --- expressions, precedence climbing --------------------------------
-  std::optional<ExprPtr> parse_expr() { return parse_or(); }
+  std::optional<ExprPtr> parse_expr() {
+    bool depth_ok = false;
+    const DepthGuard guard(*this, depth_ok);
+    if (!depth_ok) return std::nullopt;
+    return parse_or();
+  }
 
   std::optional<ExprPtr> parse_or() {
     auto lhs = parse_and();
@@ -350,6 +390,9 @@ class Parser {
   }
 
   std::optional<ExprPtr> parse_unary() {
+    bool depth_ok = false;
+    const DepthGuard guard(*this, depth_ok);
+    if (!depth_ok) return std::nullopt;
     if (at(Tok::Minus) || at(Tok::Not)) {
       const Token op = take();
       auto operand = parse_unary();
@@ -451,6 +494,8 @@ class Parser {
   std::vector<Token> tokens_;
   DiagnosticEngine& diags_;
   size_t pos_ = 0;
+  uint32_t depth_ = 0;
+  bool depth_reported_ = false;
 };
 
 }  // namespace

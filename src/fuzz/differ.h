@@ -1,0 +1,76 @@
+// Differential execution: one generated program, one tier-0
+// switch-interpreter oracle, N configuration cells (src/fuzz/cells.h) --
+// every cell must reproduce the oracle's return value, trap kind, and
+// final memory image byte for byte; deterministic cells must also
+// reproduce their own simulated cycle counts run-to-run. Any mismatch is
+// a divergence the shrinker (src/fuzz/shrink.h) reduces to a committed
+// reproducer.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fuzz/cells.h"
+#include "fuzz/generator.h"
+#include "support/result.h"
+
+namespace svc::fuzz {
+
+struct DiffOptions {
+  // Re-run deterministic (eager, pool-free) cells and require identical
+  // simulated cycle counts -- the timing model is part of the contract.
+  bool check_cycles = false;
+  // Emulates a miscompiling backend pass: after each cell-side compile,
+  // the first signed-less-than in the module is flipped to
+  // less-or-equal (the classic off-by-one peephole bug). The oracle
+  // module is left intact, so the harness must catch the plant. Used by
+  // the self-test (tests/fuzz_test.cpp) and `svc_fuzz --plant-miscompile`.
+  bool plant_miscompile = false;
+  // Oracle interpreter step bound; generated programs sit far below it.
+  uint64_t step_budget = uint64_t{1} << 24;
+  size_t memory_bytes = 1u << 20;
+  // Directory for warm-boot cells' persistent stores; empty uses the
+  // process temp directory. Each cell makes and removes a unique subdir.
+  std::string store_root;
+};
+
+/// Outcome of diffing one program against a cell set.
+struct DiffResult {
+  // First divergence, if any: which cell and a human-readable account.
+  bool diverged = false;
+  std::string cell_key;
+  std::string detail;
+  // True when something failed *outside* the differential contract (a
+  // generated program that does not compile, an engine build error):
+  // harness bugs, reported distinctly from miscompiles.
+  bool internal_error = false;
+  size_t cells_run = 0;
+  size_t runs = 0;  // total executions across cells (tiered cells run 3x+)
+
+  [[nodiscard]] bool ok() const { return !diverged && !internal_error; }
+};
+
+class DiffRunner {
+ public:
+  explicit DiffRunner(DiffOptions options = {});
+
+  /// Runs the oracle once, then every cell; stops at the first
+  /// divergence. Deterministic in (program, cells, options).
+  [[nodiscard]] DiffResult run(const GeneratedProgram& program,
+                               const std::vector<Cell>& cells);
+
+  /// Diffs one cell only (the shrinker's predicate). nullopt = agrees;
+  /// otherwise the divergence (or internal-error) detail.
+  [[nodiscard]] std::optional<std::string> run_cell(
+      const GeneratedProgram& program, const Cell& cell);
+
+  [[nodiscard]] const DiffOptions& options() const { return options_; }
+
+ private:
+  DiffOptions options_;
+  uint64_t store_counter_ = 0;
+};
+
+}  // namespace svc::fuzz

@@ -1,0 +1,126 @@
+// Deterministic generator of random well-typed MiniC programs -- the
+// workload half of the differential fuzz harness (docs/FUZZING.md). Every
+// program is produced from one 64-bit seed via forked Rng substreams
+// (support/rng.h), so `generate_program(seed)` is bit-stable across runs,
+// machines and unrelated generator call sites.
+//
+// Generated programs are constructed to terminate trap-free under every
+// correct implementation:
+//   * all loops are counted (`while (i < TRIP)` with TRIP <= 64, nesting
+//     bounded) and a static cost model keeps the whole program under a
+//     dynamic-step budget;
+//   * all pointer accesses index fixed 64-element regions with provably
+//     in-bounds index expressions;
+//   * integer division/modulo only by positive literal constants (no
+//     DivideByZero / IntegerOverflow traps); i64 avoids the operators
+//     MiniC does not define for it (%, <=, >=); float->int casts are
+//     never emitted (out-of-range behavior is not defined).
+// Everything else -- arithmetic wrap, mixed scalar widths, calls into
+// earlier helper functions, vectorizable kernel loops over u8/u16/i32/f32
+// regions -- is fair game, which is exactly the surface where the tiers,
+// targets and pipeline configurations have to agree (src/fuzz/differ.h).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "vm/memory.h"
+#include "vm/value.h"
+
+namespace svc::fuzz {
+
+/// Knobs bounding what the generator may produce. Defaults are sized so
+/// one program's oracle run costs well under a millisecond; the long-run
+/// fuzz mode raises them.
+struct GenOptions {
+  uint32_t max_helpers = 3;      // helper functions before the entry
+  uint32_t max_stmts = 8;        // statements per block body
+  uint32_t max_loop_depth = 3;   // loop nesting bound
+  uint32_t max_trip = 24;        // trip count of non-kernel loops
+  uint64_t cost_budget = 1u << 18;  // static dynamic-step estimate bound
+  size_t memory_bytes = 1u << 20;   // linear memory the args assume
+};
+
+/// One pointer argument's backing region in linear memory. Regions are
+/// laid out at fixed 1 KiB strides from address 1024 and hold 64 typed
+/// elements, so every generated index expression is in bounds by
+/// construction.
+struct PtrRegion {
+  uint32_t addr = 0;
+  uint32_t elems = 0;
+  char elem[4] = {0};  // "u8" | "u16" | "i32" | "f32"
+
+  [[nodiscard]] uint32_t elem_size() const;
+};
+
+/// One entry-function argument: the Value passed to run(), plus the
+/// region description when the parameter is a pointer.
+struct ArgSpec {
+  Value value;
+  bool is_ptr = false;
+  PtrRegion region;
+};
+
+/// Static shape summary of a generated program; drives the cell-matrix
+/// bounding in src/fuzz/cells.h (more loops -> more pipeline cells, high
+/// cost -> no tier-2 cells, ...).
+struct ProgramFeatures {
+  uint32_t functions = 0;
+  uint32_t loops = 0;
+  uint32_t kernel_loops = 0;  // unit-stride 64-element loops (vectorizable)
+  uint32_t max_loop_depth = 0;
+  uint32_t calls = 0;
+  uint32_t stmts = 0;
+  uint64_t est_cost = 0;  // static dynamic-step estimate
+  bool uses_f32 = false;
+  bool uses_i64 = false;
+};
+
+/// A self-contained differential test case: source, entry point,
+/// arguments, and the deterministic recipe for the initial memory image.
+/// Also the parsed form of a corpus file (render/parse below), so a
+/// committed reproducer replays without the generator that made it.
+struct GeneratedProgram {
+  uint64_t seed = 0;
+  uint64_t fill_seed = 0;  // memory-image substream (stable across edits)
+  std::string source;
+  std::string entry;
+  std::vector<ArgSpec> args;
+  ProgramFeatures features;
+  // Optional cell hint carried by corpus files: ';'-separated canonical
+  // cell keys (src/fuzz/cells.h) to replay against. Empty = caller picks.
+  std::string cells_hint;
+
+  /// Writes every pointer region's deterministic fill (derived from
+  /// fill_seed, independent per region) into `mem`.
+  void init_memory(Memory& mem) const;
+
+  /// The argument Values in call order.
+  [[nodiscard]] std::vector<Value> arg_values() const;
+};
+
+/// Generates one program from `seed`. Pure: equal (seed, options) give
+/// byte-equal results.
+[[nodiscard]] GeneratedProgram generate_program(uint64_t seed,
+                                                const GenOptions& options = {});
+
+/// Renders `program` as a corpus file: a `// key: value` header block,
+/// a `// ---` separator, then the source verbatim. parse_corpus_file
+/// inverts it.
+[[nodiscard]] std::string render_corpus_file(const GeneratedProgram& program);
+
+/// Parses a corpus file back into a replayable program. Returns nullopt
+/// (never dies) on a malformed header.
+[[nodiscard]] std::optional<GeneratedProgram> parse_corpus_file(
+    std::string_view text);
+
+/// Deterministically damages `source` into a near-miss program (dropped
+/// or duplicated characters, stray punctuation, truncation, keyword
+/// fragments). Used to fuzz the frontend: the result must be *rejected
+/// gracefully* (a Result error), never crash the compiler.
+[[nodiscard]] std::string mutate_source(const std::string& source,
+                                        uint64_t seed);
+
+}  // namespace svc::fuzz

@@ -1,0 +1,162 @@
+#include "fuzz/shrink.h"
+
+#include <algorithm>
+
+#include "driver/offline_compiler.h"
+
+namespace svc::fuzz {
+
+namespace {
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> out;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    const size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) {
+      out.push_back(text.substr(pos));
+      break;
+    }
+    out.push_back(text.substr(pos, eol - pos));
+    pos = eol + 1;
+  }
+  return out;
+}
+
+std::string join_lines(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const std::string& l : lines) {
+    out += l;
+    out += '\n';
+  }
+  return out;
+}
+
+// The reduction predicate: a candidate source is interesting iff it
+// still compiles, its entry still has the recorded signature (so the
+// recorded arguments remain applicable), and the reduced cell still
+// disagrees with the oracle on it.
+class Predicate {
+ public:
+  Predicate(const GeneratedProgram& original, const Cell& cell,
+            DiffRunner& runner)
+      : original_(original), cell_(cell), runner_(runner) {
+    if (Result<Module> m = compile_module(original.source); m.ok()) {
+      const Module& mod = m.value();
+      if (const auto idx = mod.find_function(original.entry)) {
+        entry_sig_ = mod.function(*idx).sig();
+      }
+    }
+  }
+
+  bool still_diverges(const std::string& candidate_source,
+                      std::string* detail_out = nullptr) {
+    Result<Module> m = compile_module(candidate_source);
+    if (!m.ok()) return false;
+    const auto idx = m.value().find_function(original_.entry);
+    if (!idx || !(m.value().function(*idx).sig() == entry_sig_)) return false;
+
+    GeneratedProgram candidate = original_;
+    candidate.source = candidate_source;
+    const auto problem = runner_.run_cell(candidate, cell_);
+    if (problem && detail_out) *detail_out = *problem;
+    return problem.has_value();
+  }
+
+ private:
+  const GeneratedProgram& original_;
+  Cell cell_;
+  DiffRunner& runner_;
+  FunctionSig entry_sig_;
+};
+
+// Classic ddmin over lines: try dropping ever-finer chunks, restarting
+// at coarse granularity after every successful reduction, then finish
+// with a greedy single-line sweep (catches stragglers ddmin's chunk
+// boundaries miss).
+std::vector<std::string> ddmin(std::vector<std::string> lines,
+                               Predicate& pred) {
+  size_t n = 2;
+  while (lines.size() >= 2) {
+    const size_t chunk = (lines.size() + n - 1) / n;
+    bool reduced = false;
+    for (size_t start = 0; start < lines.size(); start += chunk) {
+      std::vector<std::string> candidate;
+      candidate.reserve(lines.size());
+      for (size_t i = 0; i < lines.size(); ++i) {
+        if (i < start || i >= start + chunk) candidate.push_back(lines[i]);
+      }
+      if (candidate.empty()) continue;
+      if (pred.still_diverges(join_lines(candidate))) {
+        lines = std::move(candidate);
+        n = std::max<size_t>(n - 1, 2);
+        reduced = true;
+        break;
+      }
+    }
+    if (!reduced) {
+      if (n >= lines.size()) break;
+      n = std::min(lines.size(), n * 2);
+    }
+  }
+  // Greedy singles until a fixed point.
+  bool changed = true;
+  while (changed && lines.size() > 1) {
+    changed = false;
+    for (size_t i = 0; i < lines.size(); ++i) {
+      std::vector<std::string> candidate = lines;
+      candidate.erase(candidate.begin() + static_cast<ptrdiff_t>(i));
+      if (pred.still_diverges(join_lines(candidate))) {
+        lines = std::move(candidate);
+        changed = true;
+        break;
+      }
+    }
+  }
+  return lines;
+}
+
+}  // namespace
+
+std::optional<ShrinkResult> shrink(const GeneratedProgram& program,
+                                   const std::vector<Cell>& cells,
+                                   DiffRunner& runner) {
+  // Phase 1: cell-set reduction -- find one cell that reproduces alone.
+  std::optional<Cell> reduced_cell;
+  for (const Cell& c : cells) {
+    if (runner.run_cell(program, c)) {
+      reduced_cell = c;
+      break;
+    }
+  }
+  if (!reduced_cell) return std::nullopt;
+
+  // Phase 2: ddmin the source against that one cell. Reduction
+  // candidates routinely delete an induction-variable increment and
+  // loop forever, so the predicate runs under a much tighter step
+  // budget than the fuzz loop: runaway candidates trap in milliseconds
+  // and count as uninteresting. Generated programs' cost model keeps
+  // genuine reproducers far below even this bound.
+  DiffOptions lo = runner.options();
+  lo.step_budget = std::min<uint64_t>(lo.step_budget, uint64_t{1} << 20);
+  DiffRunner lo_runner(lo);
+  Predicate pred(program, *reduced_cell, lo_runner);
+  const std::vector<std::string> before = split_lines(program.source);
+  const std::vector<std::string> after = ddmin(before, pred);
+
+  ShrinkResult out;
+  out.reduced = program;
+  out.reduced.source = join_lines(after);
+  out.reduced.cells_hint = reduced_cell->key();
+  out.cell = *reduced_cell;
+  out.lines_before = before.size();
+  out.lines_after = after.size();
+  pred.still_diverges(out.reduced.source, &out.detail);
+  return out;
+}
+
+std::string render_reproducer(const ShrinkResult& result) {
+  return render_corpus_file(result.reduced);
+}
+
+}  // namespace svc::fuzz

@@ -1,0 +1,41 @@
+// Delta-debugging reducer for differential divergences: given a program
+// and the cell set it diverged on, produce the smallest reproducer we
+// can find automatically -- first the cell set is reduced to a single
+// diverging cell, then the program is shrunk with ddmin over source
+// lines (the generator emits one statement per line precisely so this
+// works well). A candidate is kept only if it still compiles, still has
+// the same entry signature (the recorded arguments must stay valid), and
+// still diverges on the reduced cell. The result renders as a corpus
+// file (tests/corpus/) that ctest replays forever after.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fuzz/cells.h"
+#include "fuzz/differ.h"
+#include "fuzz/generator.h"
+
+namespace svc::fuzz {
+
+struct ShrinkResult {
+  GeneratedProgram reduced;  // source shrunk; args/seed preserved
+  Cell cell;                 // the single cell that still diverges
+  std::string detail;        // divergence account on the reduced program
+  size_t lines_before = 0;
+  size_t lines_after = 0;
+};
+
+/// Reduces a diverging (program, cells) pair. Returns nullopt when no
+/// single cell reproduces the divergence (should not happen for a real
+/// divergence; guards against flaky harness bugs). Deterministic.
+[[nodiscard]] std::optional<ShrinkResult> shrink(
+    const GeneratedProgram& program, const std::vector<Cell>& cells,
+    DiffRunner& runner);
+
+/// Renders the reduced case as a corpus file whose cells hint is the one
+/// reduced cell -- drop it into tests/corpus/ and it replays in ctest.
+[[nodiscard]] std::string render_reproducer(const ShrinkResult& result);
+
+}  // namespace svc::fuzz

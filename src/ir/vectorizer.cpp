@@ -21,6 +21,16 @@ LaneKind lane_kind_of_load(const IRInst& load) {
   }
 }
 
+LaneKind lane_kind_of_store(const IRInst& store) {
+  switch (store.op) {
+    case Opcode::StoreI8: return LaneKind::U8x16;
+    case Opcode::StoreI16: return LaneKind::U16x8;
+    case Opcode::StoreI32: return LaneKind::I32x4;
+    case Opcode::StoreF32: return LaneKind::F32x4;
+    default: return LaneKind::None;
+  }
+}
+
 /// Vector opcode implementing elementwise `op` on `lk` lanes, or Nop.
 Opcode vector_op_for(Opcode op, LaneKind lk) {
   switch (lk) {
@@ -246,10 +256,12 @@ class LoopVectorizer {
 
     // 3. Memory accesses: decompose and collect lane kinds.
     LaneKind lk = LaneKind::None;
+    bool saw_load = false;
     for (size_t i = 0; i < n; ++i) {
       const IRInst& inst = B.insts[i];
       const OpCategory cat = op_info(inst.op).category;
       if (cat == OpCategory::Load) {
+        saw_load = true;
         const LaneKind this_lk = lane_kind_of_load(inst);
         if (this_lk == LaneKind::None) return false;
         if (lk != LaneKind::None && lk != this_lk) return false;
@@ -262,6 +274,14 @@ class LoopVectorizer {
         classes_[i] = InstClass::ElemLoad;
         elem_values_.insert(inst.dst);
       } else if (cat == OpCategory::Store) {
+        // Stores constrain the lane kind exactly like loads: a loop
+        // mixing element types (e.g. an f32 load next to an i32 store)
+        // has no single vector shape, and letting the store through
+        // would splat its value with the wrong-typed splat opcode.
+        const LaneKind this_lk = lane_kind_of_store(inst);
+        if (this_lk == LaneKind::None) return false;
+        if (lk != LaneKind::None && lk != this_lk) return false;
+        lk = this_lk;
         const auto acc = decompose_access(fn_, loop_, inst.s0, inst.imm,
                                           op_info(inst.op).mem_bytes, true,
                                           iv_.var);
@@ -270,7 +290,7 @@ class LoopVectorizer {
         classes_[i] = InstClass::Store;
       }
     }
-    if (lk == LaneKind::None) return false;  // no data loads
+    if (!saw_load || lk == LaneKind::None) return false;  // no data loads
     lane_kind_ = lk;
     vf_ = lane_count(lk);
 

@@ -28,10 +28,12 @@ Soc::Soc(std::vector<CoreSpec> cores, size_t memory_bytes, SocOptions options)
   if (options_.pool_threads > 0) {
     pool_ = std::make_unique<ThreadPool>(options_.pool_threads);
   }
-  const OnlineTarget::Config core_config{
+  OnlineTarget::Config core_config{
       options_.mode,    options_.promote_threshold, options_.profile,
       options_.tier2_threshold, &cache_,            pool_.get(),
       &predecode_};
+  core_config.tier0_dispatch = options_.tier0_dispatch;
+  core_config.tier0_fusion = options_.tier0_fusion;
   cores_.reserve(specs_.size());
   for (const CoreSpec& spec : specs_) {
     cores_.push_back(
@@ -106,13 +108,13 @@ Module Soc::export_profiled_module() const {
 }
 
 SimResult Soc::run_on(size_t c, std::string_view name,
-                      const std::vector<Value>& args) {
-  return cores_[c]->run(name, args, memory_);
+                      const std::vector<Value>& args, uint64_t step_budget) {
+  return cores_[c]->run(name, args, memory_, step_budget);
 }
 
 SimResult Soc::run_on(size_t c, uint32_t func_idx,
-                      const std::vector<Value>& args) {
-  return cores_[c]->run(func_idx, args, memory_);
+                      const std::vector<Value>& args, uint64_t step_budget) {
+  return cores_[c]->run(func_idx, args, memory_, step_budget);
 }
 
 }  // namespace svc

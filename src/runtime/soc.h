@@ -43,6 +43,11 @@ struct SocOptions {
   // Calls of a function served by JITed code on a core before its
   // profile-guided tier-2 recompile is requested; 0 disables tier 2.
   uint32_t tier2_threshold = 0;
+  // Tier-0 engine selection, forwarded to every core's interpreter
+  // (results are bit-identical across engines -- the fuzz harness in
+  // src/fuzz runs both as differential cells; see vm/interpreter.h).
+  DispatchKind tier0_dispatch = DispatchKind::Threaded;
+  bool tier0_fusion = true;
   // Background compile workers; 0 = no pool, tier-up compiles run
   // synchronously at the promotion threshold.
   size_t pool_threads = 0;
@@ -148,14 +153,20 @@ class Soc {
   /// concurrent requests must touch disjoint (or read-only) regions, or
   /// the caller must serialize them (the serving layer in serve/server.h
   /// serializes per core and routes each function to one core).
+  /// `step_budget` bounds a single execution (interpreter steps or
+  /// simulated instructions, whichever serves the call); exceeding it
+  /// returns a StepBudgetExceeded trap instead of running forever. The
+  /// default matches OnlineTarget::run's.
   [[nodiscard]] SimResult run_on(size_t c, std::string_view name,
-                                 const std::vector<Value>& args);
+                                 const std::vector<Value>& args,
+                                 uint64_t step_budget = uint64_t{1} << 32);
 
   /// Index-taking spelling for callers that already resolved the
   /// function (the serving layer's per-request path); same concurrency
   /// contract. `func_idx` must be < the module's function count.
   [[nodiscard]] SimResult run_on(size_t c, uint32_t func_idx,
-                                 const std::vector<Value>& args);
+                                 const std::vector<Value>& args,
+                                 uint64_t step_budget = uint64_t{1} << 32);
 
   /// DMA cost (cycles) for moving `bytes` to or from an accelerator.
   [[nodiscard]] uint64_t dma_cycles(uint64_t bytes) const {

@@ -42,6 +42,23 @@ class Rng {
 
   bool next_bool() { return (next_u64() & 1) != 0; }
 
+  /// Independent deterministic substream `stream` of this RNG's seed
+  /// state: fork(k) depends only on (current state, k), never advances
+  /// this RNG, and distinct k give uncorrelated streams. The fuzz
+  /// harness derives per-program / per-purpose streams this way so
+  /// adding a draw in one place cannot shift every later program.
+  [[nodiscard]] Rng fork(uint64_t stream) const {
+    return Rng(mix(state_ ^ mix(stream + 0x632be59bd9b4e019ull)));
+  }
+
+  /// splitmix64 finalizer as a pure function -- the repo's canonical way
+  /// to turn an arbitrary 64-bit label into a seed.
+  [[nodiscard]] static uint64_t mix(uint64_t z) {
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
  private:
   uint64_t state_;
 };

@@ -1,0 +1,71 @@
+// Replays every committed corpus case (tests/corpus/*.minic) through the
+// differential harness: each file pins a program -- fuzz-generated or a
+// shrunk reproducer of a past divergence -- against the cells recorded in
+// its header. A regression that re-introduces a caught bug fails here
+// forever after. SVC_CORPUS_DIR is injected by CMake.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fuzz/cells.h"
+#include "fuzz/differ.h"
+#include "fuzz/generator.h"
+
+namespace svc::fuzz {
+namespace {
+
+std::vector<std::filesystem::path> corpus_files() {
+  std::vector<std::filesystem::path> out;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(SVC_CORPUS_DIR)) {
+    if (entry.path().extension() == ".minic") out.push_back(entry.path());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string slurp(const std::filesystem::path& p) {
+  std::ifstream in(p);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(Corpus, HasCommittedCases) {
+  EXPECT_GE(corpus_files().size(), 10u)
+      << "tests/corpus/ should carry at least 10 cases -- regenerate with "
+         "`svc_fuzz --emit-corpus tests/corpus 12`";
+}
+
+TEST(Corpus, EveryCaseParsesAndCarriesCells) {
+  for (const auto& path : corpus_files()) {
+    const auto program = parse_corpus_file(slurp(path));
+    ASSERT_TRUE(program.has_value()) << path;
+    EXPECT_FALSE(program->source.empty()) << path;
+    EXPECT_FALSE(program->entry.empty()) << path;
+    ASSERT_FALSE(program->cells_hint.empty()) << path;
+    EXPECT_TRUE(parse_cell_list(program->cells_hint).has_value())
+        << path << ": bad cells header '" << program->cells_hint << "'";
+  }
+}
+
+TEST(Corpus, EveryCaseReplaysWithoutDivergence) {
+  DiffRunner runner;
+  for (const auto& path : corpus_files()) {
+    const auto program = parse_corpus_file(slurp(path));
+    ASSERT_TRUE(program.has_value()) << path;
+    const auto cells = parse_cell_list(program->cells_hint);
+    ASSERT_TRUE(cells.has_value()) << path;
+    const DiffResult r = runner.run(*program, *cells);
+    EXPECT_TRUE(r.ok()) << path << " cell " << r.cell_key << ": "
+                        << r.detail;
+  }
+}
+
+}  // namespace
+}  // namespace svc::fuzz

@@ -1,0 +1,390 @@
+// svc_fuzz: the differential correctness harness as a command-line tool.
+// Generates deterministic random MiniC programs (src/fuzz/generator.h)
+// and diffs every (tier x target x pipeline) cell against the tier-0
+// switch-interpreter oracle (src/fuzz/differ.h). On a divergence it
+// prints the exact seed + cell, shrinks the program with ddmin
+// (src/fuzz/shrink.h), and writes a corpus-format reproducer.
+//
+//   svc_fuzz --seed 1 --programs 25          # PR-gate sweep (ci.yml)
+//   svc_fuzz --seed 7 --cells "x86sim/tiered/linear/threaded/off=default/jit=default"
+//   svc_fuzz --long-run --report             # BENCH_fuzz.json trajectory
+//   svc_fuzz --plant-miscompile --programs 5 # self-test: must be caught
+//   svc_fuzz --emit-corpus tests/corpus 12   # refresh the committed corpus
+//   svc_fuzz --replay tests/corpus/*.minic   # what corpus_test.cpp runs
+//
+// Exit codes: 0 = clean (or plant caught), 1 = divergence (or plant
+// missed), 2 = usage/internal error. See docs/FUZZING.md.
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_report.h"
+#include "driver/offline_compiler.h"
+#include "fuzz/cells.h"
+#include "fuzz/differ.h"
+#include "fuzz/generator.h"
+#include "fuzz/shrink.h"
+
+namespace {
+
+using namespace svc;
+using namespace svc::fuzz;
+
+struct CliOptions {
+  uint64_t seed = 1;
+  uint64_t programs = 25;
+  double budget_seconds = 0;  // 0 = no wall-clock bound
+  size_t max_cells = 12;
+  std::string cells;  // explicit ';'-separated cell keys
+  bool check_cycles = false;
+  bool plant_miscompile = false;
+  bool no_shrink = false;
+  bool report = false;
+  bool verbose = false;
+  std::string emit_corpus_dir;
+  uint64_t emit_corpus_count = 0;
+  std::vector<std::string> replay_files;
+};
+
+void usage(std::FILE* out) {
+  std::fprintf(
+      out,
+      "usage: svc_fuzz [options]\n"
+      "  --seed N             base seed (default 1); fully deterministic\n"
+      "  --programs N         programs to fuzz (default 25)\n"
+      "  --budget SECONDS     stop after this much wall clock\n"
+      "  --cells LIST         explicit ';'-separated cell keys\n"
+      "  --max-cells N        bound the per-program matrix (default 12)\n"
+      "  --check-cycles       also require run-to-run cycle determinism\n"
+      "  --plant-miscompile   self-test: plant an off-by-one miscompile;\n"
+      "                       exit 0 iff it is caught and shrunk\n"
+      "  --no-shrink          report divergences without reducing them\n"
+      "  --emit-corpus DIR N  write N corpus files under DIR and exit\n"
+      "  --replay FILE...     replay corpus files (rest of argv)\n"
+      "  --report             write BENCH_fuzz.json (schema 2)\n"
+      "  --long-run           preset: 400 programs, cycles checked, report\n"
+      "  -v                   per-program progress\n");
+}
+
+bool parse_u64(const char* s, uint64_t& out) {
+  char* end = nullptr;
+  out = std::strtoull(s, &end, 10);
+  return end != s && *end == '\0';
+}
+
+std::optional<CliOptions> parse_cli(int argc, char** argv) {
+  CliOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto need = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "svc_fuzz: %s needs a value\n", what);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--seed") {
+      const char* v = need("--seed");
+      if (!v || !parse_u64(v, opts.seed)) return std::nullopt;
+    } else if (arg == "--programs") {
+      const char* v = need("--programs");
+      if (!v || !parse_u64(v, opts.programs)) return std::nullopt;
+    } else if (arg == "--budget") {
+      const char* v = need("--budget");
+      if (!v) return std::nullopt;
+      opts.budget_seconds = std::atof(v);
+    } else if (arg == "--max-cells") {
+      uint64_t n = 0;
+      const char* v = need("--max-cells");
+      if (!v || !parse_u64(v, n) || n == 0) return std::nullopt;
+      opts.max_cells = static_cast<size_t>(n);
+    } else if (arg == "--cells") {
+      const char* v = need("--cells");
+      if (!v) return std::nullopt;
+      opts.cells = v;
+    } else if (arg == "--check-cycles") {
+      opts.check_cycles = true;
+    } else if (arg == "--plant-miscompile") {
+      opts.plant_miscompile = true;
+    } else if (arg == "--no-shrink") {
+      opts.no_shrink = true;
+    } else if (arg == "--report") {
+      opts.report = true;
+    } else if (arg == "--long-run") {
+      opts.programs = 400;
+      opts.check_cycles = true;
+      opts.report = true;
+    } else if (arg == "-v" || arg == "--verbose") {
+      opts.verbose = true;
+    } else if (arg == "--emit-corpus") {
+      const char* dir = need("--emit-corpus");
+      if (!dir) return std::nullopt;
+      const char* n = need("--emit-corpus count");
+      if (!n || !parse_u64(n, opts.emit_corpus_count)) return std::nullopt;
+      opts.emit_corpus_dir = dir;
+    } else if (arg == "--replay") {
+      for (++i; i < argc; ++i) opts.replay_files.emplace_back(argv[i]);
+    } else if (arg == "--help" || arg == "-h") {
+      usage(stdout);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "svc_fuzz: unknown option '%s'\n",
+                   std::string(arg).c_str());
+      return std::nullopt;
+    }
+  }
+  return opts;
+}
+
+std::vector<Cell> cells_for(const CliOptions& opts,
+                            const GeneratedProgram& program) {
+  if (!opts.cells.empty()) {
+    if (const auto parsed = parse_cell_list(opts.cells)) return *parsed;
+    std::fprintf(stderr, "svc_fuzz: bad --cells list '%s'\n",
+                 opts.cells.c_str());
+    return {};
+  }
+  return build_cell_matrix(program.seed, program.features, opts.max_cells);
+}
+
+// A divergence report always leads with the exact replay command.
+void print_divergence(const GeneratedProgram& program,
+                      const std::string& cell_key,
+                      const std::string& detail) {
+  std::fprintf(stderr,
+               "\nDIVERGENCE\n"
+               "  seed: %" PRIu64 "\n"
+               "  cell: %s\n"
+               "  %s\n"
+               "  replay: svc_fuzz --seed %" PRIu64 " --programs 1 "
+               "--cells \"%s\"\n",
+               program.seed, cell_key.c_str(), detail.c_str(), program.seed,
+               cell_key.c_str());
+}
+
+// Shrinks and writes the reproducer; returns its path (empty on failure).
+std::string shrink_and_write(const GeneratedProgram& program,
+                             const std::vector<Cell>& cells,
+                             DiffRunner& runner) {
+  const auto reduced = shrink(program, cells, runner);
+  if (!reduced) {
+    std::fprintf(stderr, "  (shrink could not isolate a single cell)\n");
+    return {};
+  }
+  std::fprintf(stderr, "  shrunk: %zu -> %zu lines, cell %s\n",
+               reduced->lines_before, reduced->lines_after,
+               reduced->cell.key().c_str());
+  const std::string path =
+      "svc_fuzz_repro_" + std::to_string(program.seed) + ".minic";
+  std::ofstream out(path, std::ios::binary);
+  out << render_reproducer(*reduced);
+  out.close();
+  std::fprintf(stderr,
+               "  reproducer: %s (move into tests/corpus/ to pin)\n",
+               path.c_str());
+  return path;
+}
+
+// Frontend robustness ride-along: every program also yields two
+// near-miss mutants that must be *rejected or accepted gracefully* --
+// any crash/abort here kills the fuzzer itself and fails the run.
+uint64_t fuzz_frontend(const GeneratedProgram& program) {
+  uint64_t rejected = 0;
+  for (uint64_t m = 0; m < 2; ++m) {
+    const std::string mutant =
+        mutate_source(program.source, program.seed * 2 + m);
+    if (!compile_module(mutant).ok()) ++rejected;
+  }
+  return rejected;
+}
+
+int run_replay(const CliOptions& opts) {
+  DiffOptions diff_opts;
+  diff_opts.check_cycles = opts.check_cycles;
+  DiffRunner runner(diff_opts);
+  int failures = 0;
+  for (const std::string& path : opts.replay_files) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "svc_fuzz: cannot read %s\n", path.c_str());
+      return 2;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const auto program = parse_corpus_file(ss.str());
+    if (!program) {
+      std::fprintf(stderr, "svc_fuzz: malformed corpus file %s\n",
+                   path.c_str());
+      return 2;
+    }
+    std::vector<Cell> cells;
+    if (!program->cells_hint.empty()) {
+      if (const auto parsed = parse_cell_list(program->cells_hint)) {
+        cells = *parsed;
+      }
+    }
+    if (cells.empty()) {
+      cells = build_cell_matrix(program->seed, program->features,
+                                opts.max_cells);
+    }
+    const DiffResult r = runner.run(*program, cells);
+    if (opts.verbose || !r.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                   r.ok() ? "ok" : r.detail.c_str());
+    }
+    if (r.internal_error) return 2;
+    if (r.diverged) {
+      print_divergence(*program, r.cell_key, r.detail);
+      ++failures;
+    }
+  }
+  std::printf("svc_fuzz: replayed %zu corpus case(s), %d failure(s)\n",
+              opts.replay_files.size(), failures);
+  return failures == 0 ? 0 : 1;
+}
+
+int run_emit_corpus(const CliOptions& opts) {
+  std::error_code ec;
+  std::filesystem::create_directories(opts.emit_corpus_dir, ec);
+  DiffRunner runner;
+  uint64_t written = 0;
+  uint64_t seed = opts.seed;
+  while (written < opts.emit_corpus_count) {
+    GeneratedProgram program = generate_program(seed++);
+    // Corpus cases should earn their keep: loops and memory traffic.
+    if (program.features.loops == 0 || program.features.stmts < 4) continue;
+    std::vector<Cell> cells =
+        build_cell_matrix(program.seed, program.features, 4);
+    const DiffResult r = runner.run(program, cells);
+    if (!r.ok()) {
+      std::fprintf(stderr, "svc_fuzz: seed %" PRIu64 " not clean: %s\n",
+                   program.seed, r.detail.c_str());
+      return r.diverged ? 1 : 2;
+    }
+    program.cells_hint = render_cell_list(cells);
+    const std::filesystem::path path =
+        std::filesystem::path(opts.emit_corpus_dir) /
+        ("seed_" + std::to_string(program.seed) + ".minic");
+    std::ofstream out(path, std::ios::binary);
+    out << render_corpus_file(program);
+    ++written;
+    std::printf("wrote %s (%u stmts, %u loops, %zu cells)\n",
+                path.string().c_str(), program.features.stmts,
+                program.features.loops, cells.size());
+  }
+  return 0;
+}
+
+int run_fuzz(const CliOptions& opts) {
+  DiffOptions diff_opts;
+  diff_opts.check_cycles = opts.check_cycles;
+  diff_opts.plant_miscompile = opts.plant_miscompile;
+  DiffRunner runner(diff_opts);
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto elapsed = [&start] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+
+  uint64_t programs_run = 0;
+  uint64_t cells_run = 0;
+  uint64_t runs = 0;
+  uint64_t mutants_rejected = 0;
+  uint64_t divergences = 0;
+  bool plant_caught = false;
+
+  for (uint64_t p = 0; p < opts.programs; ++p) {
+    if (opts.budget_seconds > 0 && elapsed() > opts.budget_seconds) break;
+    const uint64_t seed = opts.seed + p;
+    const GeneratedProgram program = generate_program(seed);
+    const std::vector<Cell> cells = cells_for(opts, program);
+    if (cells.empty()) return 2;
+
+    const DiffResult r = runner.run(program, cells);
+    ++programs_run;
+    cells_run += r.cells_run;
+    runs += r.runs;
+    mutants_rejected += fuzz_frontend(program);
+
+    if (opts.verbose) {
+      std::printf("seed %" PRIu64 ": %zu cells, %zu runs, cost %" PRIu64
+                  "%s\n",
+                  seed, r.cells_run, r.runs, program.features.est_cost,
+                  r.ok() ? "" : " DIVERGED");
+    }
+    if (r.internal_error) {
+      std::fprintf(stderr, "svc_fuzz: internal error at seed %" PRIu64
+                           ":\n%s\n",
+                   seed, r.detail.c_str());
+      return 2;
+    }
+    if (r.diverged) {
+      ++divergences;
+      print_divergence(program, r.cell_key, r.detail);
+      if (!opts.no_shrink) shrink_and_write(program, cells, runner);
+      if (opts.plant_miscompile) {
+        plant_caught = true;
+        break;  // the self-test only needs one catch
+      }
+      return 1;
+    }
+  }
+
+  const double seconds = elapsed();
+  std::printf("svc_fuzz: %" PRIu64 " program(s), %" PRIu64 " cell(s), %" PRIu64
+              " run(s), %" PRIu64 " divergence(s) in %.2fs\n",
+              programs_run, cells_run, runs, divergences, seconds);
+
+  if (opts.report) {
+    svc::bench::bench_report(
+        "fuzz",
+        {{"seed", std::to_string(opts.seed)},
+         {"programs", std::to_string(opts.programs)},
+         {"max_cells", std::to_string(opts.max_cells)},
+         {"check_cycles", opts.check_cycles ? "true" : "false"}},
+        {{"fuzz.programs", static_cast<double>(programs_run)},
+         {"fuzz.cells", static_cast<double>(cells_run)},
+         {"fuzz.runs", static_cast<double>(runs)},
+         {"fuzz.divergences", static_cast<double>(divergences)},
+         {"fuzz.frontend_mutants_rejected",
+          static_cast<double>(mutants_rejected)},
+         {"fuzz.seconds", seconds},
+         {"fuzz.programs_per_sec",
+          seconds > 0 ? static_cast<double>(programs_run) / seconds : 0}});
+  }
+
+  if (opts.plant_miscompile) {
+    if (plant_caught) {
+      std::printf("svc_fuzz: planted miscompile caught and shrunk\n");
+      return 0;
+    }
+    std::fprintf(stderr,
+                 "svc_fuzz: planted miscompile was NOT caught -- the "
+                 "differential harness is blind\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = parse_cli(argc, argv);
+  if (!opts) {
+    usage(stderr);
+    return 2;
+  }
+  if (!opts->replay_files.empty()) return run_replay(*opts);
+  if (!opts->emit_corpus_dir.empty()) return run_emit_corpus(*opts);
+  return run_fuzz(*opts);
+}
